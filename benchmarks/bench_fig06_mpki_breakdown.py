@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 6: gshare branch MPKI breakdown for selected workloads."""
+
+from repro.experiments import run_fig06, format_fig06
+
+from conftest import BENCH_INSTRUCTIONS, run_once, show
+
+
+def test_fig06_mpki_breakdown(benchmark):
+    """Figure 6: gshare branch MPKI breakdown for selected workloads."""
+    result = run_once(benchmark, run_fig06, instructions=BENCH_INSTRUCTIONS)
+    show("Figure 6: gshare branch MPKI breakdown for selected workloads", format_fig06(result))

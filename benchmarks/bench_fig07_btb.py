@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 7: BTB MPKI versus entries and associativity."""
+
+from repro.experiments import run_fig07, format_fig07
+
+from conftest import BENCH_INSTRUCTIONS, run_once, show
+
+
+def test_fig07_btb(benchmark):
+    """Figure 7: BTB MPKI versus entries and associativity."""
+    result = run_once(benchmark, run_fig07, instructions=BENCH_INSTRUCTIONS)
+    show("Figure 7: BTB MPKI versus entries and associativity", format_fig07(result))

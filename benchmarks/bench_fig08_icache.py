@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 8: I-cache MPKI versus size and associativity."""
+
+from repro.experiments import run_fig08, format_fig08
+
+from conftest import BENCH_INSTRUCTIONS, run_once, show
+
+
+def test_fig08_icache(benchmark):
+    """Figure 8: I-cache MPKI versus size and associativity."""
+    result = run_once(benchmark, run_fig08, instructions=BENCH_INSTRUCTIONS)
+    show("Figure 8: I-cache MPKI versus size and associativity", format_fig08(result))

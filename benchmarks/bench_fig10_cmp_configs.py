@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 10: normalized time/power/energy/ED per CMP configuration."""
+
+from repro.experiments import run_fig10, format_fig10
+
+from conftest import BENCH_INSTRUCTIONS, run_once, show
+
+
+def test_fig10_cmp_configs(benchmark):
+    """Figure 10: normalized time/power/energy/ED per CMP configuration."""
+    result = run_once(benchmark, run_fig10, instructions=BENCH_INSTRUCTIONS)
+    show("Figure 10: normalized time/power/energy/ED per CMP configuration", format_fig10(result))

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table II: branch predictor size parameters and cost."""
+
+from repro.experiments import run_table2, format_table2
+
+from conftest import BENCH_INSTRUCTIONS, run_once, show
+
+
+def test_table2_predictor_budgets(benchmark):
+    """Table II: branch predictor size parameters and cost."""
+    result = run_once(benchmark, run_table2)
+    show("Table II: branch predictor size parameters and cost", format_table2(result))

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table III: front-end area and power at the core level."""
+
+from repro.experiments import run_table3, format_table3
+
+from conftest import BENCH_INSTRUCTIONS, run_once, show
+
+
+def test_table3_area_power(benchmark):
+    """Table III: front-end area and power at the core level."""
+    result = run_once(benchmark, run_table3)
+    show("Table III: front-end area and power at the core level", format_table3(result))

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that ``python setup.py develop`` works on offline machines where pip's
+PEP 517 editable-install path is unavailable (it requires the ``wheel``
+package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Reproduction of "Rebalancing the Core Front-End through HPC Code Analysis".
+
+(U. Milic, P. Carpenter, A. Rico, A. Ramirez -- IISWC 2016.)
+
+The package is organised as a pipeline:
+
+``repro.workloads``
+    Synthetic models of the 29 HPC and 12 desktop applications the
+    paper characterizes (substituting for the unavailable native
+    binaries + Pin instrumentation).
+``repro.trace``
+    The program/trace substrate those models are built on.
+``repro.analysis``
+    Architecture-independent characterization (branch mix, bias,
+    footprints, basic blocks -- Section III).
+``repro.frontend``
+    Branch predictors, BTB, and I-cache simulators plus the baseline
+    and tailored front-end configurations (Section IV).
+``repro.uarch``
+    Core CPI and CMP execution-time models (the Sniper substitute,
+    Section V).
+``repro.power``
+    Area/power/energy models (the McPAT + CACTI substitute).
+``repro.experiments``
+    One driver per paper table and figure.
+
+Quickstart::
+
+    from repro.workloads import get_workload, build_workload
+    from repro.frontend import make_predictor, simulate_branch_predictor
+
+    workload = build_workload(get_workload("FT"))
+    trace = workload.trace(200_000)
+    predictor = make_predictor("tage", "small", with_loop=True)
+    print(simulate_branch_predictor(trace, predictor).mpki)
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, experiments, frontend, power, trace, uarch, workloads
+
+__all__ = [
+    "__version__",
+    "trace",
+    "workloads",
+    "analysis",
+    "frontend",
+    "uarch",
+    "power",
+    "experiments",
+]

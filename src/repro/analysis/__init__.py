@@ -1,0 +1,53 @@
+"""Workload analysis tools (the paper's pintool equivalents).
+
+Each analyzer consumes a dynamic :class:`repro.trace.Trace` and produces
+the architecture-independent characteristics of Section III of the
+paper:
+
+* :mod:`repro.analysis.branch_mix` -- dynamic branch instruction
+  breakdown by category (Figure 1),
+* :mod:`repro.analysis.branch_bias` -- conditional branch direction
+  distribution (Figure 2) and backward/forward taken split (Table I),
+* :mod:`repro.analysis.footprint` -- static and 99%-dynamic instruction
+  footprints (Figure 3),
+* :mod:`repro.analysis.basic_blocks` -- dynamic basic-block length and
+  distance between taken branches (Figure 4),
+* :mod:`repro.analysis.line_usefulness` -- fraction of a fetched I-cache
+  line that is actually consumed (Section IV-C),
+* :mod:`repro.analysis.characterization` -- one-stop characterization of
+  a workload plus suite-level aggregation helpers.
+"""
+
+from repro.analysis.branch_mix import BranchMix, analyze_branch_mix
+from repro.analysis.branch_bias import (
+    BiasDistribution,
+    TakenDirectionSplit,
+    analyze_branch_bias,
+    analyze_taken_directions,
+)
+from repro.analysis.footprint import FootprintResult, analyze_footprint
+from repro.analysis.basic_blocks import BasicBlockStats, analyze_basic_blocks
+from repro.analysis.line_usefulness import LineUsefulness, analyze_line_usefulness
+from repro.analysis.characterization import (
+    WorkloadCharacterization,
+    characterize_workload,
+    suite_average,
+)
+
+__all__ = [
+    "BranchMix",
+    "analyze_branch_mix",
+    "BiasDistribution",
+    "TakenDirectionSplit",
+    "analyze_branch_bias",
+    "analyze_taken_directions",
+    "FootprintResult",
+    "analyze_footprint",
+    "BasicBlockStats",
+    "analyze_basic_blocks",
+    "LineUsefulness",
+    "analyze_line_usefulness",
+    "WorkloadCharacterization",
+    "characterize_workload",
+    "suite_average",
+]

@@ -1,0 +1,83 @@
+"""Dynamic basic-block statistics (Figure 4).
+
+A *dynamic basic block* is the run of instructions between two
+consecutive branch instructions in the dynamic stream; the *distance
+between taken branches* is the run of instructions between two
+consecutive **taken** branches.  Both are reported in bytes, exactly as
+in Figure 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.events import Trace
+from repro.trace.instruction import CodeSection
+
+
+@dataclass
+class BasicBlockStats:
+    """Average dynamic basic-block length and taken-branch distance."""
+
+    section: CodeSection
+    dynamic_block_count: int
+    taken_run_count: int
+    average_block_bytes: float
+    average_block_instructions: float
+    average_taken_distance_bytes: float
+
+    @property
+    def taken_branch_fraction(self) -> float:
+        """Share of dynamic basic blocks that end in a taken branch."""
+        if self.dynamic_block_count == 0:
+            return 0.0
+        return self.taken_run_count / self.dynamic_block_count
+
+
+def analyze_basic_blocks(
+    trace: Trace, section: CodeSection = CodeSection.TOTAL
+) -> BasicBlockStats:
+    """Compute Figure 4's basic-block length and taken-distance averages."""
+    blocks = trace.program.blocks
+
+    block_count = 0
+    taken_count = 0
+    total_bytes = 0
+    total_instructions = 0
+
+    current_bytes = 0
+    current_instructions = 0
+    taken_run_bytes = 0
+    taken_run_total = 0
+
+    for event in trace.block_events(section):
+        block = blocks[event.block_id]
+        current_bytes += block.size_bytes
+        current_instructions += block.num_instructions
+        taken_run_bytes += block.size_bytes
+        if not block.terminator.is_branch:
+            continue
+        # A branch instruction ends the current dynamic basic block.
+        block_count += 1
+        total_bytes += current_bytes
+        total_instructions += current_instructions
+        current_bytes = 0
+        current_instructions = 0
+        if event.taken:
+            taken_count += 1
+            taken_run_total += taken_run_bytes
+            taken_run_bytes = 0
+
+    average_block_bytes = total_bytes / block_count if block_count else 0.0
+    average_block_instructions = (
+        total_instructions / block_count if block_count else 0.0
+    )
+    average_taken_distance = taken_run_total / taken_count if taken_count else 0.0
+    return BasicBlockStats(
+        section=section,
+        dynamic_block_count=block_count,
+        taken_run_count=taken_count,
+        average_block_bytes=average_block_bytes,
+        average_block_instructions=average_block_instructions,
+        average_taken_distance_bytes=average_taken_distance,
+    )

@@ -1,0 +1,152 @@
+"""Conditional branch direction analysis (Figure 2 and Table I).
+
+Figure 2 classifies every *static* conditional branch site by how often
+it is taken, then weights each site by its dynamic execution count so
+the stacked bars show the distribution of dynamic conditional branches
+over ten taken-percentage buckets.
+
+Table I splits taken branches into backward (target before the branch)
+and forward (target after the branch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.trace.events import Trace
+from repro.trace.instruction import CodeSection
+
+#: Upper bounds (exclusive, in percent taken) of the Figure 2 buckets.
+BIAS_BUCKET_BOUNDS: Tuple[int, ...] = (10, 20, 30, 40, 50, 60, 70, 80, 90, 101)
+
+#: Human-readable labels of the Figure 2 buckets, in stacking order.
+BIAS_BUCKET_LABELS: Tuple[str, ...] = (
+    "0-10%",
+    "10-20%",
+    "20-30%",
+    "30-40%",
+    "40-50%",
+    "50-60%",
+    "60-70%",
+    "70-80%",
+    "80-90%",
+    ">90%",
+)
+
+
+@dataclass
+class BiasDistribution:
+    """Distribution of dynamic conditional branches over taken buckets."""
+
+    section: CodeSection
+    dynamic_conditional_count: int
+    bucket_fractions: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def strongly_biased_fraction(self) -> float:
+        """Share of dynamic branches that are taken <10% or >90% of the time."""
+        return self.bucket_fractions.get("0-10%", 0.0) + self.bucket_fractions.get(
+            ">90%", 0.0
+        )
+
+    def fraction_in(self, label: str) -> float:
+        """Share of dynamic conditional branches in one bucket."""
+        if label not in BIAS_BUCKET_LABELS:
+            raise ValueError(f"unknown bias bucket {label!r}")
+        return self.bucket_fractions.get(label, 0.0)
+
+
+@dataclass
+class TakenDirectionSplit:
+    """Backward/forward split of taken branches (Table I)."""
+
+    section: CodeSection
+    taken_count: int
+    backward_count: int
+    forward_count: int
+
+    @property
+    def backward_fraction(self) -> float:
+        """Share of taken branches whose target precedes the branch."""
+        if self.taken_count == 0:
+            return 0.0
+        return self.backward_count / self.taken_count
+
+    @property
+    def forward_fraction(self) -> float:
+        """Share of taken branches whose target follows the branch."""
+        if self.taken_count == 0:
+            return 0.0
+        return self.forward_count / self.taken_count
+
+
+def _bucket_label(taken_percent: float) -> str:
+    """Map a per-site taken percentage to its Figure 2 bucket label."""
+    for bound, label in zip(BIAS_BUCKET_BOUNDS, BIAS_BUCKET_LABELS):
+        if taken_percent < bound:
+            return label
+    return BIAS_BUCKET_LABELS[-1]
+
+
+def analyze_branch_bias(
+    trace: Trace, section: CodeSection = CodeSection.TOTAL
+) -> BiasDistribution:
+    """Compute the Figure 2 taken-percentage distribution for a section."""
+    per_site: Dict[int, List[int]] = {}
+    for record in trace.branch_records(section):
+        if not record.kind.is_conditional:
+            continue
+        stats = per_site.setdefault(record.address, [0, 0])
+        stats[0] += 1
+        if record.taken:
+            stats[1] += 1
+
+    total_dynamic = sum(executions for executions, _ in per_site.values())
+    bucket_counts: Dict[str, int] = {label: 0 for label in BIAS_BUCKET_LABELS}
+    for executions, taken in per_site.values():
+        taken_percent = 100.0 * taken / executions
+        bucket_counts[_bucket_label(taken_percent)] += executions
+
+    if total_dynamic == 0:
+        fractions = {label: 0.0 for label in BIAS_BUCKET_LABELS}
+    else:
+        fractions = {
+            label: count / total_dynamic for label, count in bucket_counts.items()
+        }
+    return BiasDistribution(
+        section=section,
+        dynamic_conditional_count=total_dynamic,
+        bucket_fractions=fractions,
+    )
+
+
+def analyze_taken_directions(
+    trace: Trace,
+    section: CodeSection = CodeSection.TOTAL,
+    conditional_only: bool = False,
+) -> TakenDirectionSplit:
+    """Compute the Table I backward/forward split of taken branches.
+
+    ``conditional_only`` restricts the analysis to conditional direct
+    branches; by default every taken branch with a resolvable target
+    (conditional, unconditional, call, return, indirect) participates,
+    matching a pintool that inspects every taken control transfer.
+    """
+    taken = backward = forward = 0
+    for record in trace.branch_records(section):
+        if not record.taken or record.target is None:
+            continue
+        if conditional_only and not record.kind.is_conditional:
+            continue
+        taken += 1
+        if record.is_backward:
+            backward += 1
+        else:
+            forward += 1
+    return TakenDirectionSplit(
+        section=section,
+        taken_count=taken,
+        backward_count=backward,
+        forward_count=forward,
+    )

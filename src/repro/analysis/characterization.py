@@ -1,0 +1,89 @@
+"""One-stop workload characterization and suite aggregation.
+
+``characterize_workload`` runs every Section III analysis for the
+total, serial, and parallel sections of a trace, which is what the
+per-figure experiment drivers consume.  ``suite_average`` averages a
+metric over the workloads of a suite the way the paper's per-suite bars
+do (unweighted arithmetic mean over benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.basic_blocks import BasicBlockStats, analyze_basic_blocks
+from repro.analysis.branch_bias import (
+    BiasDistribution,
+    TakenDirectionSplit,
+    analyze_branch_bias,
+    analyze_taken_directions,
+)
+from repro.analysis.branch_mix import BranchMix, analyze_branch_mix
+from repro.analysis.footprint import FootprintResult, analyze_footprint
+from repro.trace.events import Trace
+from repro.trace.instruction import CodeSection
+
+
+@dataclass
+class WorkloadCharacterization:
+    """All Section III characteristics of one workload, per section."""
+
+    name: str
+    branch_mix: Dict[CodeSection, BranchMix]
+    bias: Dict[CodeSection, BiasDistribution]
+    taken_directions: Dict[CodeSection, TakenDirectionSplit]
+    footprint: Dict[CodeSection, FootprintResult]
+    basic_blocks: Dict[CodeSection, BasicBlockStats]
+
+    def sections(self) -> List[CodeSection]:
+        """Sections for which data is available."""
+        return list(self.branch_mix.keys())
+
+
+def _sections_for(trace: Trace, include_sections: bool) -> List[CodeSection]:
+    sections = [CodeSection.TOTAL]
+    if not include_sections:
+        return sections
+    for section in (CodeSection.SERIAL, CodeSection.PARALLEL):
+        if trace.instruction_count(section) > 0:
+            sections.append(section)
+    return sections
+
+
+def characterize_workload(
+    trace: Trace,
+    name: Optional[str] = None,
+    include_sections: bool = True,
+    conditional_only_directions: bool = False,
+) -> WorkloadCharacterization:
+    """Run every architecture-independent analysis on one trace."""
+    sections = _sections_for(trace, include_sections)
+    return WorkloadCharacterization(
+        name=name or trace.name,
+        branch_mix={s: analyze_branch_mix(trace, s) for s in sections},
+        bias={s: analyze_branch_bias(trace, s) for s in sections},
+        taken_directions={
+            s: analyze_taken_directions(
+                trace, s, conditional_only=conditional_only_directions
+            )
+            for s in sections
+        },
+        footprint={s: analyze_footprint(trace, s) for s in sections},
+        basic_blocks={s: analyze_basic_blocks(trace, s) for s in sections},
+    )
+
+
+def suite_average(values: Iterable[float]) -> float:
+    """Unweighted mean over the benchmarks of a suite (paper convention)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def average_by(
+    items: Sequence, key: Callable[[object], float]
+) -> float:
+    """Average ``key(item)`` over ``items`` (empty sequences average to 0)."""
+    return suite_average(key(item) for item in items)

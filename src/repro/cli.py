@@ -1,0 +1,98 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    repro-frontend list
+    repro-frontend fig1 [--instructions N]
+    repro-frontend table3
+    repro-frontend all --instructions 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from repro import experiments
+
+#: Experiment name -> (runner, formatter, needs_instructions).
+_EXPERIMENTS: Dict[str, Tuple[Callable, Callable, bool]] = {
+    "fig1": (experiments.run_fig01, experiments.format_fig01, True),
+    "fig2": (experiments.run_fig02, experiments.format_fig02, True),
+    "table1": (experiments.run_table1, experiments.format_table1, True),
+    "fig3": (experiments.run_fig03, experiments.format_fig03, True),
+    "fig4": (experiments.run_fig04, experiments.format_fig04, True),
+    "table2": (experiments.run_table2, experiments.format_table2, False),
+    "fig5": (experiments.run_fig05, experiments.format_fig05, True),
+    "fig6": (experiments.run_fig06, experiments.format_fig06, True),
+    "fig7": (experiments.run_fig07, experiments.format_fig07, True),
+    "fig8": (experiments.run_fig08, experiments.format_fig08, True),
+    "fig9": (experiments.run_fig09, experiments.format_fig09, True),
+    "table3": (experiments.run_table3, experiments.format_table3, False),
+    "fig10": (experiments.run_fig10, experiments.format_fig10, True),
+    "fig11": (experiments.run_fig11, experiments.format_fig11, True),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-frontend",
+        description=(
+            "Regenerate the tables and figures of 'Rebalancing the Core "
+            "Front-End through HPC Code Analysis' (IISWC 2016)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment to run: one of %s, 'all', or 'list'"
+        % ", ".join(sorted(_EXPERIMENTS)),
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=experiments.DEFAULT_EXPERIMENT_INSTRUCTIONS,
+        help="dynamic trace length per workload (default %(default)s)",
+    )
+    return parser
+
+
+def _run_one(name: str, instructions: int) -> str:
+    runner, formatter, needs_instructions = _EXPERIMENTS[name]
+    if needs_instructions:
+        result = runner(instructions=instructions)
+    else:
+        result = runner()
+    return formatter(result)
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point of the ``repro-frontend`` command."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.experiment == "all":
+        names = sorted(_EXPERIMENTS)
+    elif args.experiment in _EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; "
+            f"expected one of {', '.join(sorted(_EXPERIMENTS))}, 'all', or 'list'"
+        )
+        return 2  # pragma: no cover - parser.error raises SystemExit
+
+    for name in names:
+        print(f"== {name} ==")
+        print(_run_one(name, args.instructions))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

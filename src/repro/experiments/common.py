@@ -1,0 +1,85 @@
+"""Shared plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.trace.events import Trace
+from repro.trace.instruction import CodeSection
+from repro.workloads.catalog import WORKLOADS, get_workload, workloads_in_suite
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suites import SUITE_ORDER, Suite
+from repro.workloads.synthesis import SyntheticWorkload, build_workload
+
+#: Default dynamic trace length used by the experiment drivers.  Scaled
+#: down from the paper's multi-billion-instruction runs so the full
+#: 41-workload sweeps finish in minutes on a laptop; every ``run_*``
+#: function accepts an ``instructions`` override.
+DEFAULT_EXPERIMENT_INSTRUCTIONS = 150_000
+
+#: The sections reported by the per-suite figures, in bar order.
+SECTION_ORDER = (CodeSection.TOTAL, CodeSection.SERIAL, CodeSection.PARALLEL)
+
+
+def suite_workloads(
+    suites: Optional[Sequence[Suite]] = None,
+    names: Optional[Sequence[str]] = None,
+) -> List[WorkloadSpec]:
+    """Select the workloads an experiment runs over.
+
+    With no arguments all 41 catalogued workloads are returned, in
+    suite order.  ``names`` restricts to specific benchmarks, ``suites``
+    to whole suites.
+    """
+    if names is not None:
+        return [get_workload(name) for name in names]
+    if suites is None:
+        suites = SUITE_ORDER
+    selected: List[WorkloadSpec] = []
+    for suite in suites:
+        selected.extend(workloads_in_suite(suite))
+    return selected
+
+
+def workload_trace(spec: WorkloadSpec, instructions: Optional[int] = None) -> Trace:
+    """Build (or reuse) the synthetic workload and return its trace."""
+    if instructions is None:
+        instructions = DEFAULT_EXPERIMENT_INSTRUCTIONS
+    workload: SyntheticWorkload = build_workload(spec)
+    return workload.trace(instructions)
+
+
+def sections_for(spec: WorkloadSpec) -> List[CodeSection]:
+    """Sections reported for a workload (desktop codes have no split)."""
+    if spec.suite.is_desktop:
+        return [CodeSection.TOTAL]
+    return list(SECTION_ORDER)
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean with an empty-sequence guard."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a small fixed-width text table."""
+    columns = len(headers)
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index in range(columns):
+            widths[index] = max(widths[index], len(str(row[index])))
+    lines = []
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def suite_label_map() -> Dict[Suite, str]:
+    """Suite display labels in figure order."""
+    return {suite: suite.label for suite in SUITE_ORDER}

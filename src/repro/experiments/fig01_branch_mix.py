@@ -1,0 +1,74 @@
+"""Figure 1: dynamic branch instruction breakdown per suite and section."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.branch_mix import analyze_branch_mix
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    mean,
+    sections_for,
+    suite_workloads,
+    workload_trace,
+)
+from repro.trace.instruction import FIGURE1_CATEGORIES, CodeSection
+from repro.workloads.suites import SUITE_ORDER, Suite
+
+
+@dataclass
+class Fig01Result:
+    """Per-suite, per-section branch category shares (of all instructions)."""
+
+    instructions: int
+    #: suite -> section -> category -> fraction of dynamic instructions
+    categories: Dict[Suite, Dict[CodeSection, Dict[str, float]]] = field(default_factory=dict)
+    #: suite -> section -> total branch fraction
+    branch_fraction: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
+    #: per-workload total branch fraction (for per-benchmark inspection)
+    per_workload: Dict[str, float] = field(default_factory=dict)
+
+
+def run_fig01(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    suites: Optional[Sequence[Suite]] = None,
+) -> Fig01Result:
+    """Regenerate the Figure 1 data."""
+    result = Fig01Result(instructions=instructions)
+    for suite in suites or SUITE_ORDER:
+        specs = suite_workloads(suites=[suite])
+        per_section_mixes: Dict[CodeSection, List] = {}
+        for spec in specs:
+            trace = workload_trace(spec, instructions)
+            for section in sections_for(spec):
+                mix = analyze_branch_mix(trace, section)
+                per_section_mixes.setdefault(section, []).append(mix)
+                if section is CodeSection.TOTAL:
+                    result.per_workload[spec.name] = mix.branch_fraction
+        result.categories[suite] = {}
+        result.branch_fraction[suite] = {}
+        for section, mixes in per_section_mixes.items():
+            result.branch_fraction[suite][section] = mean(
+                m.branch_fraction for m in mixes
+            )
+            result.categories[suite][section] = {
+                category: mean(m.category_fractions[category] for m in mixes)
+                for category in FIGURE1_CATEGORIES
+            }
+    return result
+
+
+def format_fig01(result: Fig01Result) -> str:
+    """Render the Figure 1 stacked-bar data as a table (values in %)."""
+    headers = ["suite", "section", "branches%"] + list(FIGURE1_CATEGORIES)
+    rows = []
+    for suite, sections in result.categories.items():
+        for section, categories in sections.items():
+            rows.append(
+                [suite.label, section.label,
+                 f"{100 * result.branch_fraction[suite][section]:.1f}"]
+                + [f"{100 * categories[c]:.2f}" for c in FIGURE1_CATEGORIES]
+            )
+    return format_table(headers, rows)

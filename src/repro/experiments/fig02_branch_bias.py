@@ -1,0 +1,70 @@
+"""Figure 2: distribution of conditional branch directions per suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.branch_bias import BIAS_BUCKET_LABELS, analyze_branch_bias
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    mean,
+    sections_for,
+    suite_workloads,
+    workload_trace,
+)
+from repro.trace.instruction import CodeSection
+from repro.workloads.suites import SUITE_ORDER, Suite
+
+
+@dataclass
+class Fig02Result:
+    """Per-suite, per-section taken-percentage bucket shares."""
+
+    instructions: int
+    #: suite -> section -> bucket label -> fraction of dynamic conditionals
+    buckets: Dict[Suite, Dict[CodeSection, Dict[str, float]]] = field(default_factory=dict)
+
+    def strongly_biased(self, suite: Suite, section: CodeSection) -> float:
+        """Share of dynamic conditionals in the 0-10% or >90% buckets."""
+        data = self.buckets[suite][section]
+        return data["0-10%"] + data[">90%"]
+
+
+def run_fig02(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    suites: Optional[Sequence[Suite]] = None,
+) -> Fig02Result:
+    """Regenerate the Figure 2 data."""
+    result = Fig02Result(instructions=instructions)
+    for suite in suites or SUITE_ORDER:
+        specs = suite_workloads(suites=[suite])
+        per_section: Dict[CodeSection, List] = {}
+        for spec in specs:
+            trace = workload_trace(spec, instructions)
+            for section in sections_for(spec):
+                per_section.setdefault(section, []).append(
+                    analyze_branch_bias(trace, section)
+                )
+        result.buckets[suite] = {}
+        for section, distributions in per_section.items():
+            result.buckets[suite][section] = {
+                label: mean(d.bucket_fractions[label] for d in distributions)
+                for label in BIAS_BUCKET_LABELS
+            }
+    return result
+
+
+def format_fig02(result: Fig02Result) -> str:
+    """Render the Figure 2 stacked-bar data as a table (values in %)."""
+    headers = ["suite", "section"] + list(BIAS_BUCKET_LABELS) + ["strongly biased"]
+    rows = []
+    for suite, sections in result.buckets.items():
+        for section, buckets in sections.items():
+            rows.append(
+                [suite.label, section.label]
+                + [f"{100 * buckets[label]:.1f}" for label in BIAS_BUCKET_LABELS]
+                + [f"{100 * result.strongly_biased(suite, section):.1f}"]
+            )
+    return format_table(headers, rows)

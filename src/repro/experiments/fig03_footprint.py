@@ -1,0 +1,70 @@
+"""Figure 3: static and 99%-dynamic instruction footprints per suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.footprint import analyze_footprint
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    mean,
+    sections_for,
+    suite_workloads,
+    workload_trace,
+)
+from repro.trace.instruction import CodeSection
+from repro.workloads.suites import SUITE_ORDER, Suite
+
+
+@dataclass
+class Fig03Result:
+    """Per-suite, per-section footprints in KB."""
+
+    instructions: int
+    static_kb: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
+    dynamic99_kb: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
+    per_workload_static_kb: Dict[str, float] = field(default_factory=dict)
+    per_workload_dynamic99_kb: Dict[str, float] = field(default_factory=dict)
+
+
+def run_fig03(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    suites: Optional[Sequence[Suite]] = None,
+) -> Fig03Result:
+    """Regenerate the Figure 3 data."""
+    result = Fig03Result(instructions=instructions)
+    for suite in suites or SUITE_ORDER:
+        specs = suite_workloads(suites=[suite])
+        static: Dict[CodeSection, List[float]] = {}
+        dynamic: Dict[CodeSection, List[float]] = {}
+        for spec in specs:
+            trace = workload_trace(spec, instructions)
+            for section in sections_for(spec):
+                footprint = analyze_footprint(trace, section)
+                static.setdefault(section, []).append(footprint.static_kb)
+                dynamic.setdefault(section, []).append(footprint.dynamic_footprint_kb)
+                if section is CodeSection.TOTAL:
+                    result.per_workload_static_kb[spec.name] = footprint.static_kb
+                    result.per_workload_dynamic99_kb[spec.name] = (
+                        footprint.dynamic_footprint_kb
+                    )
+        result.static_kb[suite] = {s: mean(v) for s, v in static.items()}
+        result.dynamic99_kb[suite] = {s: mean(v) for s, v in dynamic.items()}
+    return result
+
+
+def format_fig03(result: Fig03Result) -> str:
+    """Render the Figure 3 bars as a table (KB)."""
+    headers = ["suite", "section", "static [KB]", "99% dynamic [KB]"]
+    rows = []
+    for suite, sections in result.static_kb.items():
+        for section, static_kb in sections.items():
+            rows.append([
+                suite.label,
+                section.label,
+                f"{static_kb:.0f}",
+                f"{result.dynamic99_kb[suite][section]:.1f}",
+            ])
+    return format_table(headers, rows)

@@ -1,0 +1,85 @@
+"""Figure 4: basic-block length and distance between taken branches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.basic_blocks import analyze_basic_blocks
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    mean,
+    sections_for,
+    suite_workloads,
+    workload_trace,
+)
+from repro.trace.instruction import CodeSection
+from repro.workloads.suites import SUITE_ORDER, Suite
+
+
+@dataclass
+class Fig04Result:
+    """Per-suite, per-section basic-block statistics in bytes."""
+
+    instructions: int
+    block_bytes: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
+    taken_distance_bytes: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
+    per_workload_block_bytes: Dict[str, float] = field(default_factory=dict)
+
+
+def run_fig04(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    suites: Optional[Sequence[Suite]] = None,
+) -> Fig04Result:
+    """Regenerate the Figure 4 data."""
+    result = Fig04Result(instructions=instructions)
+    for suite in suites or SUITE_ORDER:
+        specs = suite_workloads(suites=[suite])
+        blocks: Dict[CodeSection, List[float]] = {}
+        distances: Dict[CodeSection, List[float]] = {}
+        for spec in specs:
+            trace = workload_trace(spec, instructions)
+            for section in sections_for(spec):
+                stats = analyze_basic_blocks(trace, section)
+                blocks.setdefault(section, []).append(stats.average_block_bytes)
+                distances.setdefault(section, []).append(
+                    stats.average_taken_distance_bytes
+                )
+                if section is CodeSection.TOTAL:
+                    result.per_workload_block_bytes[spec.name] = stats.average_block_bytes
+        result.block_bytes[suite] = {s: mean(v) for s, v in blocks.items()}
+        result.taken_distance_bytes[suite] = {s: mean(v) for s, v in distances.items()}
+    return result
+
+
+def hpc_to_desktop_block_ratio(result: Fig04Result) -> float:
+    """Ratio of HPC parallel block length to the desktop average."""
+    hpc = mean(
+        result.block_bytes[suite][CodeSection.PARALLEL]
+        for suite in result.block_bytes
+        if suite.is_hpc and CodeSection.PARALLEL in result.block_bytes[suite]
+    )
+    desktop = mean(
+        result.block_bytes[suite][CodeSection.TOTAL]
+        for suite in result.block_bytes
+        if suite.is_desktop
+    )
+    if desktop == 0:
+        return 0.0
+    return hpc / desktop
+
+
+def format_fig04(result: Fig04Result) -> str:
+    """Render the Figure 4 bars as a table (bytes)."""
+    headers = ["suite", "section", "avg BBL [B]", "avg taken distance [B]"]
+    rows = []
+    for suite, sections in result.block_bytes.items():
+        for section, block_bytes in sections.items():
+            rows.append([
+                suite.label,
+                section.label,
+                f"{block_bytes:.0f}",
+                f"{result.taken_distance_bytes[suite][section]:.0f}",
+            ])
+    return format_table(headers, rows)

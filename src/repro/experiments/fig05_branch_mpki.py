@@ -1,0 +1,68 @@
+"""Figure 5: branch MPKI per predictor configuration and suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    mean,
+    suite_workloads,
+    workload_trace,
+)
+from repro.frontend.predictors import make_predictor
+from repro.frontend.predictors.factory import predictor_configurations
+from repro.frontend.simulation import simulate_branch_predictor
+from repro.trace.instruction import CodeSection
+from repro.workloads.suites import SUITE_ORDER, Suite
+
+
+@dataclass
+class Fig05Result:
+    """Branch MPKI per (suite, predictor configuration)."""
+
+    instructions: int
+    configurations: List[str] = field(default_factory=list)
+    #: suite -> configuration label -> MPKI (suite average)
+    mpki: Dict[Suite, Dict[str, float]] = field(default_factory=dict)
+    #: benchmark -> configuration label -> MPKI
+    per_workload: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def run_fig05(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    suites: Optional[Sequence[Suite]] = None,
+    section: CodeSection = CodeSection.TOTAL,
+) -> Fig05Result:
+    """Regenerate the Figure 5 data (all nine predictor configurations)."""
+    configurations = predictor_configurations()
+    result = Fig05Result(
+        instructions=instructions,
+        configurations=[label for label, _, _, _ in configurations],
+    )
+    for suite in suites or SUITE_ORDER:
+        specs = suite_workloads(suites=[suite])
+        per_config: Dict[str, List[float]] = {label: [] for label, _, _, _ in configurations}
+        for spec in specs:
+            trace = workload_trace(spec, instructions)
+            result.per_workload[spec.name] = {}
+            for label, kind, budget, with_loop in configurations:
+                predictor = make_predictor(kind, budget, with_loop)
+                mpki = simulate_branch_predictor(trace, predictor, section).mpki
+                per_config[label].append(mpki)
+                result.per_workload[spec.name][label] = mpki
+        result.mpki[suite] = {label: mean(values) for label, values in per_config.items()}
+    return result
+
+
+def format_fig05(result: Fig05Result) -> str:
+    """Render the Figure 5 bars as a table (MPKI)."""
+    headers = ["suite"] + result.configurations
+    rows = []
+    for suite, values in result.mpki.items():
+        rows.append(
+            [suite.label] + [f"{values[label]:.2f}" for label in result.configurations]
+        )
+    return format_table(headers, rows)

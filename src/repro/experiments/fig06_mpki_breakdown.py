@@ -1,0 +1,80 @@
+"""Figure 6: branch MPKI breakdown for gshare on a workload subset.
+
+Mispredictions are split by the outcome class of the mispredicted
+branch: not taken, taken backward, or taken forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    suite_workloads,
+    workload_trace,
+)
+from repro.frontend.predictors import make_predictor
+from repro.frontend.simulation import simulate_branch_predictor
+
+#: The benchmarks shown in Figure 6 of the paper.
+FIGURE6_WORKLOADS = (
+    "CoEVP", "CoMD", "botsspar", "imagick", "EP", "FT", "astar", "gobmk", "xalancbmk",
+)
+
+#: The three gshare configurations compared in Figure 6.
+FIGURE6_CONFIGS = (
+    ("gshare-big", "gshare", "big", False),
+    ("gshare-small", "gshare", "small", False),
+    ("L-gshare-small", "gshare", "small", True),
+)
+
+#: The misprediction outcome classes, in stacking order.
+BREAKDOWN_CLASSES = ("not taken", "taken backward", "taken forward")
+
+
+@dataclass
+class Fig06Result:
+    """MPKI breakdown per (workload, configuration)."""
+
+    instructions: int
+    workloads: List[str] = field(default_factory=list)
+    #: workload -> configuration label -> outcome class -> MPKI
+    breakdown: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def total_mpki(self, workload: str, config: str) -> float:
+        """Total MPKI of one configuration on one workload."""
+        return sum(self.breakdown[workload][config].values())
+
+
+def run_fig06(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    workloads: Optional[Sequence[str]] = None,
+) -> Fig06Result:
+    """Regenerate the Figure 6 data."""
+    names = list(workloads or FIGURE6_WORKLOADS)
+    result = Fig06Result(instructions=instructions, workloads=names)
+    for spec in suite_workloads(names=names):
+        trace = workload_trace(spec, instructions)
+        result.breakdown[spec.name] = {}
+        for label, kind, budget, with_loop in FIGURE6_CONFIGS:
+            predictor = make_predictor(kind, budget, with_loop)
+            outcome = simulate_branch_predictor(trace, predictor)
+            result.breakdown[spec.name][label] = outcome.breakdown_mpki()
+    return result
+
+
+def format_fig06(result: Fig06Result) -> str:
+    """Render the Figure 6 stacked bars as a table (MPKI)."""
+    headers = ["workload", "config"] + list(BREAKDOWN_CLASSES) + ["total"]
+    rows = []
+    for workload in result.workloads:
+        for label, _, _, _ in FIGURE6_CONFIGS:
+            breakdown = result.breakdown[workload][label]
+            rows.append(
+                [workload, label]
+                + [f"{breakdown[cls]:.2f}" for cls in BREAKDOWN_CLASSES]
+                + [f"{result.total_mpki(workload, label):.2f}"]
+            )
+    return format_table(headers, rows)

@@ -1,0 +1,70 @@
+"""Figure 7: BTB MPKI for different entry counts and associativities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    mean,
+    suite_workloads,
+    workload_trace,
+)
+from repro.frontend.simulation import simulate_btb
+from repro.workloads.suites import SUITE_ORDER, Suite
+
+#: The nine BTB geometries of Figure 7.
+BTB_GEOMETRIES: Tuple[Tuple[int, int], ...] = tuple(
+    (entries, associativity)
+    for entries in (256, 512, 1024)
+    for associativity in (2, 4, 8)
+)
+
+
+@dataclass
+class Fig07Result:
+    """BTB MPKI per (suite, geometry)."""
+
+    instructions: int
+    geometries: List[Tuple[int, int]] = field(default_factory=lambda: list(BTB_GEOMETRIES))
+    #: suite -> (entries, associativity) -> MPKI
+    mpki: Dict[Suite, Dict[Tuple[int, int], float]] = field(default_factory=dict)
+    #: benchmark -> (entries, associativity) -> MPKI
+    per_workload: Dict[str, Dict[Tuple[int, int], float]] = field(default_factory=dict)
+
+
+def run_fig07(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    suites: Optional[Sequence[Suite]] = None,
+    geometries: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Fig07Result:
+    """Regenerate the Figure 7 data."""
+    geometries = list(geometries or BTB_GEOMETRIES)
+    result = Fig07Result(instructions=instructions, geometries=geometries)
+    for suite in suites or SUITE_ORDER:
+        specs = suite_workloads(suites=[suite])
+        per_geometry: Dict[Tuple[int, int], List[float]] = {g: [] for g in geometries}
+        for spec in specs:
+            trace = workload_trace(spec, instructions)
+            result.per_workload[spec.name] = {}
+            for entries, associativity in geometries:
+                mpki = simulate_btb(
+                    trace, entries=entries, associativity=associativity
+                ).mpki
+                per_geometry[(entries, associativity)].append(mpki)
+                result.per_workload[spec.name][(entries, associativity)] = mpki
+        result.mpki[suite] = {g: mean(v) for g, v in per_geometry.items()}
+    return result
+
+
+def format_fig07(result: Fig07Result) -> str:
+    """Render the Figure 7 bars as a table (MPKI)."""
+    headers = ["suite"] + [f"{e}e/{a}w" for e, a in result.geometries]
+    rows = []
+    for suite, values in result.mpki.items():
+        rows.append(
+            [suite.label] + [f"{values[g]:.2f}" for g in result.geometries]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,76 @@
+"""Figure 8: I-cache MPKI for different sizes and associativities (64B lines)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    mean,
+    suite_workloads,
+    workload_trace,
+)
+from repro.frontend.simulation import simulate_icache
+from repro.workloads.suites import SUITE_ORDER, Suite
+
+#: The nine I-cache geometries of Figure 8: size (KB) x associativity,
+#: with the paper's fixed 64-byte lines.
+ICACHE_GEOMETRIES: Tuple[Tuple[int, int], ...] = tuple(
+    (size_kb, associativity)
+    for size_kb in (8, 16, 32)
+    for associativity in (2, 4, 8)
+)
+
+LINE_BYTES = 64
+
+
+@dataclass
+class Fig08Result:
+    """I-cache MPKI per (suite, geometry)."""
+
+    instructions: int
+    geometries: List[Tuple[int, int]] = field(default_factory=lambda: list(ICACHE_GEOMETRIES))
+    #: suite -> (size KB, associativity) -> MPKI
+    mpki: Dict[Suite, Dict[Tuple[int, int], float]] = field(default_factory=dict)
+    #: benchmark -> (size KB, associativity) -> MPKI
+    per_workload: Dict[str, Dict[Tuple[int, int], float]] = field(default_factory=dict)
+
+
+def run_fig08(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    suites: Optional[Sequence[Suite]] = None,
+    geometries: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Fig08Result:
+    """Regenerate the Figure 8 data."""
+    geometries = list(geometries or ICACHE_GEOMETRIES)
+    result = Fig08Result(instructions=instructions, geometries=geometries)
+    for suite in suites or SUITE_ORDER:
+        specs = suite_workloads(suites=[suite])
+        per_geometry: Dict[Tuple[int, int], List[float]] = {g: [] for g in geometries}
+        for spec in specs:
+            trace = workload_trace(spec, instructions)
+            result.per_workload[spec.name] = {}
+            for size_kb, associativity in geometries:
+                mpki = simulate_icache(
+                    trace,
+                    size_bytes=size_kb * 1024,
+                    line_bytes=LINE_BYTES,
+                    associativity=associativity,
+                ).mpki
+                per_geometry[(size_kb, associativity)].append(mpki)
+                result.per_workload[spec.name][(size_kb, associativity)] = mpki
+        result.mpki[suite] = {g: mean(v) for g, v in per_geometry.items()}
+    return result
+
+
+def format_fig08(result: Fig08Result) -> str:
+    """Render the Figure 8 bars as a table (MPKI)."""
+    headers = ["suite"] + [f"{kb}KB/{a}w" for kb, a in result.geometries]
+    rows = []
+    for suite, values in result.mpki.items():
+        rows.append(
+            [suite.label] + [f"{values[g]:.2f}" for g in result.geometries]
+        )
+    return format_table(headers, rows)

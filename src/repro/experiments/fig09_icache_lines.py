@@ -1,0 +1,81 @@
+"""Figure 9: I-cache MPKI versus line width for specific benchmarks (16KB)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.line_usefulness import analyze_line_usefulness
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    suite_workloads,
+    workload_trace,
+)
+from repro.frontend.simulation import simulate_icache
+
+#: The benchmarks shown in Figure 9 of the paper.
+FIGURE9_WORKLOADS = ("CoEVP", "CoGL", "fma3d", "xalancbmk", "omnetpp")
+
+#: Line width (bytes) x associativity combinations of Figure 9.
+LINE_GEOMETRIES: Tuple[Tuple[int, int], ...] = tuple(
+    (line_bytes, associativity)
+    for line_bytes in (32, 64, 128)
+    for associativity in (2, 4, 8)
+)
+
+CACHE_SIZE_BYTES = 16 * 1024
+
+
+@dataclass
+class Fig09Result:
+    """I-cache MPKI per (workload, line geometry) plus line usefulness."""
+
+    instructions: int
+    workloads: List[str] = field(default_factory=list)
+    geometries: List[Tuple[int, int]] = field(default_factory=lambda: list(LINE_GEOMETRIES))
+    #: workload -> (line bytes, associativity) -> MPKI
+    mpki: Dict[str, Dict[Tuple[int, int], float]] = field(default_factory=dict)
+    #: workload -> 128B line usefulness (fraction)
+    usefulness_128: Dict[str, float] = field(default_factory=dict)
+
+
+def run_fig09(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    workloads: Optional[Sequence[str]] = None,
+) -> Fig09Result:
+    """Regenerate the Figure 9 data."""
+    names = list(workloads or FIGURE9_WORKLOADS)
+    result = Fig09Result(instructions=instructions, workloads=names)
+    for spec in suite_workloads(names=names):
+        trace = workload_trace(spec, instructions)
+        result.mpki[spec.name] = {}
+        for line_bytes, associativity in result.geometries:
+            mpki = simulate_icache(
+                trace,
+                size_bytes=CACHE_SIZE_BYTES,
+                line_bytes=line_bytes,
+                associativity=associativity,
+            ).mpki
+            result.mpki[spec.name][(line_bytes, associativity)] = mpki
+        result.usefulness_128[spec.name] = analyze_line_usefulness(
+            trace, line_bytes=128
+        ).average_usefulness
+    return result
+
+
+def format_fig09(result: Fig09Result) -> str:
+    """Render the Figure 9 bars as a table (MPKI, plus 128B usefulness)."""
+    headers = (
+        ["workload"]
+        + [f"{lb}B/{a}w" for lb, a in result.geometries]
+        + ["128B usefulness"]
+    )
+    rows = []
+    for workload in result.workloads:
+        rows.append(
+            [workload]
+            + [f"{result.mpki[workload][g]:.2f}" for g in result.geometries]
+            + [f"{100 * result.usefulness_128[workload]:.0f}%"]
+        )
+    return format_table(headers, rows)

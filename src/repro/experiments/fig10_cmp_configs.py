@@ -1,0 +1,98 @@
+"""Figure 10: normalized execution time, power, energy, and ED per CMP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    mean,
+    suite_workloads,
+)
+from repro.power.cmp_power import evaluate_cmp_energy
+from repro.uarch.cmp import STANDARD_CMP_CONFIGS, CmpConfig
+from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
+from repro.workloads.suites import SUITE_ORDER, Suite
+from repro.workloads.synthesis import build_workload
+
+#: Metrics reported by Figure 10, in subplot order.
+FIG10_METRICS = ("execution time", "power", "energy", "energy-delay")
+
+
+@dataclass
+class Fig10Result:
+    """Normalized metrics per (suite, CMP configuration)."""
+
+    instructions: int
+    cmp_names: List[str] = field(default_factory=list)
+    #: suite -> metric -> cmp name -> value normalized to the Baseline CMP
+    normalized: Dict[Suite, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    #: benchmark -> metric -> cmp name -> normalized value
+    per_workload: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+
+def _evaluate_workload(
+    spec, instructions: int, cmps: Sequence[CmpConfig]
+) -> Dict[str, Dict[str, float]]:
+    """Normalized metrics of one workload on every CMP configuration."""
+    workload = build_workload(spec)
+    profile = profile_workload_frontend(workload, instructions)
+    absolute: Dict[str, Dict[str, float]] = {metric: {} for metric in FIG10_METRICS}
+    for cmp in cmps:
+        run = run_on_cmp(profile, cmp)
+        energy = evaluate_cmp_energy(run)
+        absolute["execution time"][cmp.name] = run.execution_seconds
+        absolute["power"][cmp.name] = energy.average_power_w
+        absolute["energy"][cmp.name] = energy.energy_j
+        absolute["energy-delay"][cmp.name] = energy.energy_delay
+    baseline_name = cmps[0].name
+    normalized: Dict[str, Dict[str, float]] = {}
+    for metric, values in absolute.items():
+        reference = values[baseline_name]
+        normalized[metric] = {
+            name: (value / reference if reference else 0.0)
+            for name, value in values.items()
+        }
+    return normalized
+
+
+def run_fig10(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    suites: Optional[Sequence[Suite]] = None,
+    cmps: Sequence[CmpConfig] = STANDARD_CMP_CONFIGS,
+) -> Fig10Result:
+    """Regenerate the Figure 10 data."""
+    result = Fig10Result(
+        instructions=instructions, cmp_names=[cmp.name for cmp in cmps]
+    )
+    for suite in suites or SUITE_ORDER:
+        specs = suite_workloads(suites=[suite])
+        per_metric: Dict[str, Dict[str, List[float]]] = {
+            metric: {cmp.name: [] for cmp in cmps} for metric in FIG10_METRICS
+        }
+        for spec in specs:
+            normalized = _evaluate_workload(spec, instructions, cmps)
+            result.per_workload[spec.name] = normalized
+            for metric in FIG10_METRICS:
+                for cmp in cmps:
+                    per_metric[metric][cmp.name].append(normalized[metric][cmp.name])
+        result.normalized[suite] = {
+            metric: {name: mean(values) for name, values in by_cmp.items()}
+            for metric, by_cmp in per_metric.items()
+        }
+    return result
+
+
+def format_fig10(result: Fig10Result) -> str:
+    """Render the Figure 10 bars as a table (normalized to Baseline CMP)."""
+    headers = ["suite", "metric"] + result.cmp_names
+    rows = []
+    for suite, metrics in result.normalized.items():
+        for metric in FIG10_METRICS:
+            rows.append(
+                [suite.label, metric]
+                + [f"{metrics[metric][name]:.3f}" for name in result.cmp_names]
+            )
+    return format_table(headers, rows)

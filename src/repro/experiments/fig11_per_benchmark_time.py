@@ -1,0 +1,64 @@
+"""Figure 11: per-benchmark execution time normalized to the Baseline CMP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    suite_workloads,
+)
+from repro.uarch.cmp import STANDARD_CMP_CONFIGS, CmpConfig
+from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
+from repro.workloads.synthesis import build_workload
+
+#: The benchmarks shown in Figure 11 of the paper.
+FIGURE11_WORKLOADS = ("CoEVP", "CoMD", "fma3d", "FT", "h264ref", "gobmk")
+
+
+@dataclass
+class Fig11Result:
+    """Normalized execution time per (workload, CMP configuration)."""
+
+    instructions: int
+    cmp_names: List[str] = field(default_factory=list)
+    workloads: List[str] = field(default_factory=list)
+    #: workload -> cmp name -> execution time normalized to the Baseline CMP
+    normalized_time: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def run_fig11(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    workloads: Optional[Sequence[str]] = None,
+    cmps: Sequence[CmpConfig] = STANDARD_CMP_CONFIGS,
+) -> Fig11Result:
+    """Regenerate the Figure 11 data."""
+    names = list(workloads or FIGURE11_WORKLOADS)
+    result = Fig11Result(
+        instructions=instructions,
+        cmp_names=[cmp.name for cmp in cmps],
+        workloads=names,
+    )
+    for spec in suite_workloads(names=names):
+        workload = build_workload(spec)
+        profile = profile_workload_frontend(workload, instructions)
+        times = {cmp.name: run_on_cmp(profile, cmp).execution_seconds for cmp in cmps}
+        reference = times[cmps[0].name]
+        result.normalized_time[spec.name] = {
+            name: time / reference for name, time in times.items()
+        }
+    return result
+
+
+def format_fig11(result: Fig11Result) -> str:
+    """Render the Figure 11 bars as a table."""
+    headers = ["workload"] + result.cmp_names
+    rows = []
+    for workload in result.workloads:
+        rows.append(
+            [workload]
+            + [f"{result.normalized_time[workload][name]:.3f}" for name in result.cmp_names]
+        )
+    return format_table(headers, rows)

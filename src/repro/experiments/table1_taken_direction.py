@@ -1,0 +1,73 @@
+"""Table I: backward versus forward taken branches per suite and section."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.branch_bias import analyze_taken_directions
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    mean,
+    sections_for,
+    suite_workloads,
+    workload_trace,
+)
+from repro.trace.instruction import CodeSection
+from repro.workloads.suites import SUITE_ORDER, Suite
+
+
+@dataclass
+class Table1Result:
+    """Per-suite, per-section backward-taken share."""
+
+    instructions: int
+    #: suite -> section -> fraction of taken branches that jump backward
+    backward: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
+
+    def forward(self, suite: Suite, section: CodeSection) -> float:
+        """Forward-taken share (complement of the backward share)."""
+        return 1.0 - self.backward[suite][section]
+
+
+def run_table1(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    suites: Optional[Sequence[Suite]] = None,
+) -> Table1Result:
+    """Regenerate the Table I data."""
+    result = Table1Result(instructions=instructions)
+    for suite in suites or SUITE_ORDER:
+        specs = suite_workloads(suites=[suite])
+        per_section: Dict[CodeSection, List[float]] = {}
+        for spec in specs:
+            trace = workload_trace(spec, instructions)
+            for section in sections_for(spec):
+                split = analyze_taken_directions(trace, section)
+                per_section.setdefault(section, []).append(split.backward_fraction)
+        result.backward[suite] = {
+            section: mean(values) for section, values in per_section.items()
+        }
+    return result
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render Table I (percent backward / forward per code section)."""
+    headers = ["suite", "serial backward", "serial forward", "parallel backward", "parallel forward"]
+    rows = []
+    for suite, sections in result.backward.items():
+        if CodeSection.SERIAL in sections and CodeSection.PARALLEL in sections:
+            serial = sections[CodeSection.SERIAL]
+            parallel = sections[CodeSection.PARALLEL]
+            rows.append([
+                suite.label,
+                f"{100 * serial:.0f}%", f"{100 * (1 - serial):.0f}%",
+                f"{100 * parallel:.0f}%", f"{100 * (1 - parallel):.0f}%",
+            ])
+        else:
+            total = sections[CodeSection.TOTAL]
+            rows.append([
+                suite.label,
+                f"{100 * total:.0f}%", f"{100 * (1 - total):.0f}%", "-", "-",
+            ])
+    return format_table(headers, rows)

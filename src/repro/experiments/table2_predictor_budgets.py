@@ -1,0 +1,55 @@
+"""Table II: branch predictor size parameters and hardware cost."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.experiments.common import format_table
+from repro.frontend.predictors import make_predictor
+from repro.frontend.predictors.factory import PREDICTOR_KINDS, SIZE_PARAMETERS
+
+
+@dataclass
+class Table2Result:
+    """Hardware cost (bits and KB) of every evaluated predictor config."""
+
+    #: (kind, budget) -> storage bits
+    storage_bits: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: (kind, budget) -> Table II size parameters
+    parameters: Dict[Tuple[str, str], Dict[str, int]] = field(default_factory=dict)
+    loop_predictor_bits: int = 0
+
+    def storage_kb(self, kind: str, budget: str) -> float:
+        """Storage cost of one configuration in KB."""
+        return self.storage_bits[(kind, budget)] / 8192.0
+
+
+def run_table2() -> Table2Result:
+    """Regenerate the Table II data from the predictor implementations."""
+    result = Table2Result()
+    for kind in PREDICTOR_KINDS:
+        for budget in ("small", "big"):
+            predictor = make_predictor(kind, budget)
+            result.storage_bits[(kind, budget)] = predictor.storage_bits()
+            result.parameters[(kind, budget)] = dict(SIZE_PARAMETERS[(kind, budget)])
+    loop_augmented = make_predictor("gshare", "small", with_loop=True)
+    plain = make_predictor("gshare", "small")
+    result.loop_predictor_bits = loop_augmented.storage_bits() - plain.storage_bits()
+    return result
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render Table II (predictor budgets)."""
+    headers = ["predictor", "budget", "size parameters", "cost [KB]"]
+    rows = []
+    for (kind, budget), bits in result.storage_bits.items():
+        parameters = ", ".join(
+            f"{key}={value}" for key, value in result.parameters[(kind, budget)].items()
+        )
+        rows.append([kind, budget, parameters, f"{bits / 8192.0:.2f}"])
+    rows.append([
+        "loop predictor", "64-entry", "side predictor",
+        f"{result.loop_predictor_bits / 8192.0:.2f}",
+    ])
+    return format_table(headers, rows)

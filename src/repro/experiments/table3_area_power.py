@@ -1,0 +1,84 @@
+"""Table III: front-end area and power share at the core level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.experiments.common import format_table
+from repro.power.core_power import CoreAreaPower, core_area_power
+from repro.uarch.core import BASELINE_CORE, TAILORED_CORE
+
+#: The paper's Table III values (40nm, McPAT + CACTI) for comparison.
+PAPER_TABLE3 = {
+    "baseline": {
+        "Total core": {"area_mm2": 2.49, "power_w": 0.85},
+        "I-cache": {"area_mm2": 0.31, "power_w": 0.075},
+        "BP": {"area_mm2": 0.14, "power_w": 0.032},
+        "BTB": {"area_mm2": 0.125, "power_w": 0.017},
+    },
+    "tailored": {
+        "Total core": {"area_mm2": 2.11, "power_w": 0.79},
+        "I-cache": {"area_mm2": 0.14, "power_w": 0.049},
+        "BP": {"area_mm2": 0.04, "power_w": 0.011},
+        "BTB": {"area_mm2": 0.022, "power_w": 0.002},
+    },
+}
+
+
+@dataclass
+class Table3Result:
+    """Modelled core-level area and power for both core flavours."""
+
+    cores: Dict[str, CoreAreaPower] = field(default_factory=dict)
+
+    def area_ratio(self) -> float:
+        """Tailored core area relative to the baseline core."""
+        return (
+            self.cores["tailored"].total_area_mm2
+            / self.cores["baseline"].total_area_mm2
+        )
+
+    def power_ratio(self) -> float:
+        """Tailored core power relative to the baseline core."""
+        return (
+            self.cores["tailored"].active_power_w
+            / self.cores["baseline"].active_power_w
+        )
+
+
+def run_table3() -> Table3Result:
+    """Regenerate Table III from the area/power models."""
+    result = Table3Result()
+    for core in (BASELINE_CORE, TAILORED_CORE):
+        result.cores[core.name] = core_area_power(core)
+    return result
+
+
+def format_table3(result: Table3Result) -> str:
+    """Render Table III with the paper's values side by side."""
+    headers = ["core", "structure", "area [mm2]", "paper area", "power [W]", "paper power"]
+    rows = []
+    for core_name, budget in result.cores.items():
+        paper = PAPER_TABLE3[core_name]
+        rows.append([
+            core_name, "Total core",
+            f"{budget.total_area_mm2:.2f}", f"{paper['Total core']['area_mm2']:.2f}",
+            f"{budget.active_power_w:.2f}", f"{paper['Total core']['power_w']:.2f}",
+        ])
+        modelled = budget.frontend.as_rows()
+        for structure in ("I-cache", "BP", "BTB"):
+            rows.append([
+                core_name, structure,
+                f"{modelled[structure]['area_mm2']:.3f}",
+                f"{paper[structure]['area_mm2']:.3f}",
+                f"{modelled[structure]['power_w']:.3f}",
+                f"{paper[structure]['power_w']:.3f}",
+            ])
+    rows.append([
+        "tailored/baseline", "area ratio", f"{result.area_ratio():.2f}", "0.84", "", "",
+    ])
+    rows.append([
+        "tailored/baseline", "power ratio", f"{result.power_ratio():.2f}", "0.93", "", "",
+    ])
+    return format_table(headers, rows)

@@ -1,0 +1,91 @@
+"""Branch target buffer (Section IV-B).
+
+A set-associative cache of taken-branch target addresses, indexed by
+the branch instruction address (simple modulo indexing, as in the
+paper).  Only branches predicted/observed taken are inserted; a miss is
+counted whenever a taken branch looks up the BTB and its entry (with
+the correct target) is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend.predictors.base import index_bits
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB with LRU replacement."""
+
+    def __init__(self, entries: int = 2048, associativity: int = 4, tag_bits: int = 20, target_bits: int = 32) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if associativity <= 0 or entries % associativity:
+            raise ValueError("associativity must divide the entry count")
+        self.entries = entries
+        self.associativity = associativity
+        self.tag_bits = tag_bits
+        self.target_bits = target_bits
+        self.sets = entries // associativity
+        # Each set maps tag -> target, with insertion order giving LRU.
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(self.sets)]
+        self.lookups = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        pc = address >> 2
+        set_index = pc & (self.sets - 1) if self.sets > 1 else 0
+        tag = pc >> max(0, index_bits(self.sets)) if self.sets > 1 else pc
+        return set_index, tag
+
+    def lookup(self, address: int) -> Optional[int]:
+        """Return the stored target for a branch, or None on a miss."""
+        self.lookups += 1
+        set_index, tag = self._locate(address)
+        entry_set = self._sets[set_index]
+        target = entry_set.get(tag)
+        if target is None:
+            self.misses += 1
+            return None
+        # Refresh LRU position.
+        del entry_set[tag]
+        entry_set[tag] = target
+        return target
+
+    def insert(self, address: int, target: int) -> None:
+        """Insert or update the target of a taken branch."""
+        set_index, tag = self._locate(address)
+        entry_set = self._sets[set_index]
+        if tag in entry_set:
+            del entry_set[tag]
+        elif len(entry_set) >= self.associativity:
+            oldest = next(iter(entry_set))
+            del entry_set[oldest]
+        entry_set[tag] = target
+
+    def access(self, address: int, target: int) -> bool:
+        """Look up a taken branch and install it on a miss.
+
+        Returns True on a hit with the correct target.
+        """
+        stored = self.lookup(address)
+        hit = stored is not None and stored == target
+        if not hit:
+            self.insert(address, target)
+        return hit
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of lookups that missed."""
+        if self.lookups == 0:
+            return 0.0
+        return self.misses / self.lookups
+
+    def storage_bits(self) -> int:
+        """Approximate storage cost (tag + target per entry)."""
+        return self.entries * (self.tag_bits + self.target_bits)
+
+    def reset_statistics(self) -> None:
+        """Clear the lookup/miss counters (contents are kept)."""
+        self.lookups = 0
+        self.misses = 0

@@ -1,0 +1,109 @@
+"""Front-end configurations evaluated in Section V.
+
+The *baseline* lean core uses the front-end found in today's lean-core
+CMPs (32KB/64B-line I-cache, 16KB tournament predictor, 2K-entry BTB);
+the *tailored* core applies the paper's recommendations (16KB/128B-line
+I-cache, 2KB tournament predictor plus a loop predictor, 256-entry
+BTB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.icache import InstructionCache
+from repro.frontend.predictors import BranchPredictor, make_predictor
+
+
+@dataclass(frozen=True)
+class ICacheConfig:
+    """Geometry of an instruction cache."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    associativity: int = 4
+
+    @property
+    def size_kb(self) -> float:
+        """Capacity in KB."""
+        return self.size_bytes / 1024.0
+
+    def build(self) -> InstructionCache:
+        """Instantiate the simulator for this geometry."""
+        return InstructionCache(self.size_bytes, self.line_bytes, self.associativity)
+
+    @property
+    def label(self) -> str:
+        """Readable description, e.g. ``"32KB, 64B-line, 4-way"``."""
+        return f"{self.size_bytes // 1024}KB, {self.line_bytes}B-line, {self.associativity}-way"
+
+
+@dataclass(frozen=True)
+class BTBConfig:
+    """Geometry of a branch target buffer."""
+
+    entries: int = 2048
+    associativity: int = 4
+
+    def build(self) -> BranchTargetBuffer:
+        """Instantiate the simulator for this geometry."""
+        return BranchTargetBuffer(self.entries, self.associativity)
+
+    @property
+    def label(self) -> str:
+        """Readable description, e.g. ``"2048-entry, 4-way"``."""
+        return f"{self.entries}-entry, {self.associativity}-way"
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Branch predictor family, budget, and loop-predictor option."""
+
+    kind: str = "tournament"
+    budget: str = "big"
+    with_loop: bool = False
+
+    def build(self) -> BranchPredictor:
+        """Instantiate the predictor."""
+        return make_predictor(self.kind, self.budget, self.with_loop)
+
+    @property
+    def label(self) -> str:
+        """Readable description, e.g. ``"L-tournament-small"``."""
+        prefix = "L-" if self.with_loop else ""
+        return f"{prefix}{self.kind}-{self.budget}"
+
+
+@dataclass(frozen=True)
+class FrontEndConfig:
+    """Complete front-end configuration of one core flavour."""
+
+    name: str
+    icache: ICacheConfig = field(default_factory=ICacheConfig)
+    predictor: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
+    btb: BTBConfig = field(default_factory=BTBConfig)
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.name}: I-cache {self.icache.label}; "
+            f"BP {self.predictor.label}; BTB {self.btb.label}"
+        )
+
+
+#: The baseline lean core front-end of Section V.
+BASELINE_FRONTEND = FrontEndConfig(
+    name="baseline",
+    icache=ICacheConfig(size_bytes=32 * 1024, line_bytes=64, associativity=4),
+    predictor=BranchPredictorConfig(kind="tournament", budget="big", with_loop=False),
+    btb=BTBConfig(entries=2048, associativity=4),
+)
+
+#: The HPC-tailored lean core front-end proposed by the paper.
+TAILORED_FRONTEND = FrontEndConfig(
+    name="tailored",
+    icache=ICacheConfig(size_bytes=16 * 1024, line_bytes=128, associativity=8),
+    predictor=BranchPredictorConfig(kind="tournament", budget="small", with_loop=True),
+    btb=BTBConfig(entries=256, associativity=4),
+)

@@ -1,0 +1,86 @@
+"""Instruction cache simulator (Section IV-C).
+
+A set-associative cache with LRU replacement.  Fetch follows the
+paper's model: once a line is fetched, instructions are extracted
+sequentially until the end of the line or a taken branch, so the cache
+is accessed once per line that a dynamic basic block touches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.frontend.predictors.base import index_bits
+
+
+class InstructionCache:
+    """Set-associative instruction cache with LRU replacement."""
+
+    def __init__(self, size_bytes: int = 32 * 1024, line_bytes: int = 64, associativity: int = 4) -> None:
+        if size_bytes <= 0 or line_bytes <= 0:
+            raise ValueError("cache and line sizes must be positive")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        if size_bytes % (line_bytes * associativity):
+            raise ValueError("size must be a multiple of line_bytes * associativity")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_lines = size_bytes // line_bytes
+        self.num_sets = self.num_lines // associativity
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self._sets: List[Dict[int, None]] = [dict() for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def _set_index(self, line_address: int) -> int:
+        if self.num_sets == 1:
+            return 0
+        return line_address & (self.num_sets - 1)
+
+    def access_line(self, line_address: int) -> bool:
+        """Access one cache line (by line-granular address); True on hit."""
+        self.accesses += 1
+        set_index = self._set_index(line_address)
+        tag = line_address >> max(0, index_bits(self.num_sets))
+        entry_set = self._sets[set_index]
+        if tag in entry_set:
+            del entry_set[tag]
+            entry_set[tag] = None
+            return True
+        self.misses += 1
+        if len(entry_set) >= self.associativity:
+            oldest = next(iter(entry_set))
+            del entry_set[oldest]
+        entry_set[tag] = None
+        return False
+
+    def fetch_range(self, start_address: int, size_bytes: int) -> int:
+        """Fetch a sequential byte range; returns the number of misses."""
+        if size_bytes <= 0:
+            return 0
+        first_line = start_address // self.line_bytes
+        last_line = (start_address + size_bytes - 1) // self.line_bytes
+        misses = 0
+        for line in range(first_line, last_line + 1):
+            if not self.access_line(line):
+                misses += 1
+        return misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of line accesses that missed."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def storage_bits(self) -> int:
+        """Approximate storage: data plus tag array."""
+        tag_bits = 32 - index_bits(self.line_bytes) - index_bits(self.num_sets)
+        return self.num_lines * (self.line_bytes * 8 + tag_bits + 1)
+
+    def reset_statistics(self) -> None:
+        """Clear access/miss counters (contents are kept)."""
+        self.accesses = 0
+        self.misses = 0

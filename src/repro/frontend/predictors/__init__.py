@@ -1,0 +1,27 @@
+"""Branch direction predictors evaluated in the paper (Section IV-A)."""
+
+from repro.frontend.predictors.base import BranchPredictor
+from repro.frontend.predictors.bimodal import BimodalPredictor
+from repro.frontend.predictors.gshare import GsharePredictor
+from repro.frontend.predictors.tournament import TournamentPredictor
+from repro.frontend.predictors.tage import TagePredictor
+from repro.frontend.predictors.loop import LoopPredictor
+from repro.frontend.predictors.hybrid import PredictorWithLoop
+from repro.frontend.predictors.factory import (
+    PREDICTOR_BUDGETS,
+    make_predictor,
+    predictor_configurations,
+)
+
+__all__ = [
+    "BranchPredictor",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "TournamentPredictor",
+    "TagePredictor",
+    "LoopPredictor",
+    "PredictorWithLoop",
+    "make_predictor",
+    "predictor_configurations",
+    "PREDICTOR_BUDGETS",
+]

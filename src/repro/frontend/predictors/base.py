@@ -1,0 +1,64 @@
+"""Common branch predictor interface and shared helpers."""
+
+from __future__ import annotations
+
+import abc
+
+
+class BranchPredictor(abc.ABC):
+    """Interface of a conditional branch direction predictor.
+
+    The driver calls :meth:`predict` with the branch address, compares
+    the prediction with the actual outcome, and then calls
+    :meth:`update` with that outcome so the predictor can train -- the
+    same protocol a pintool implementing the structure follows.
+    """
+
+    #: Short name used in figure legends (e.g. ``"gshare"``).
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def predict(self, address: int) -> bool:
+        """Predict whether the branch at ``address`` is taken."""
+
+    @abc.abstractmethod
+    def update(self, address: int, taken: bool) -> None:
+        """Train the predictor with the resolved outcome."""
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Total number of storage bits the hardware structure needs."""
+
+    def storage_bytes(self) -> float:
+        """Storage cost in bytes."""
+        return self.storage_bits() / 8.0
+
+    def storage_kb(self) -> float:
+        """Storage cost in kilobytes."""
+        return self.storage_bits() / 8192.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(bits={self.storage_bits()})"
+
+
+class SaturatingCounter:
+    """Helpers for n-bit saturating counters stored as plain integers."""
+
+    @staticmethod
+    def taken(value: int, bits: int = 2) -> bool:
+        """Whether a counter value predicts taken."""
+        return value >= (1 << (bits - 1))
+
+    @staticmethod
+    def update(value: int, taken: bool, bits: int = 2) -> int:
+        """Increment or decrement a counter with saturation."""
+        if taken:
+            return min(value + 1, (1 << bits) - 1)
+        return max(value - 1, 0)
+
+
+def index_bits(entries: int) -> int:
+    """Number of index bits needed for ``entries`` table slots."""
+    if entries <= 0 or entries & (entries - 1):
+        raise ValueError("table sizes must be positive powers of two")
+    return entries.bit_length() - 1

@@ -1,0 +1,42 @@
+"""Bimodal (per-address two-bit counter) predictor.
+
+The simplest direction predictor: a table of two-bit saturating
+counters indexed by the low bits of the branch address.  It is both a
+baseline in its own right and the base component of the TAGE predictor.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.predictors.base import BranchPredictor, SaturatingCounter
+
+
+class BimodalPredictor(BranchPredictor):
+    """Table of two-bit saturating counters indexed by branch address."""
+
+    name = "bimodal"
+
+    def __init__(self, entries: int = 4096, counter_bits: int = 2) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if counter_bits < 1:
+            raise ValueError("counter_bits must be at least 1")
+        self.entries = entries
+        self.counter_bits = counter_bits
+        initial = 1 << (counter_bits - 1)  # weakly taken
+        self._table = [initial] * entries
+
+    def _index(self, address: int) -> int:
+        return (address >> 2) & (self.entries - 1)
+
+    def predict(self, address: int) -> bool:
+        value = self._table[self._index(address)]
+        return SaturatingCounter.taken(value, self.counter_bits)
+
+    def update(self, address: int, taken: bool) -> None:
+        index = self._index(address)
+        self._table[index] = SaturatingCounter.update(
+            self._table[index], taken, self.counter_bits
+        )
+
+    def storage_bits(self) -> int:
+        return self.entries * self.counter_bits

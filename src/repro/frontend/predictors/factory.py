@@ -1,0 +1,99 @@
+"""Predictor construction helpers matching the paper's Table II budgets.
+
+The paper evaluates three predictor families (gshare, tournament, TAGE)
+at two hardware budgets (~2KB "small" and ~16KB "big"), optionally
+augmented with a 64-entry (~512B) loop predictor.  ``make_predictor``
+builds any of those nine configurations by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.frontend.predictors.base import BranchPredictor
+from repro.frontend.predictors.gshare import GsharePredictor
+from repro.frontend.predictors.hybrid import PredictorWithLoop
+from repro.frontend.predictors.loop import LoopPredictor
+from repro.frontend.predictors.tage import TagePredictor
+from repro.frontend.predictors.tournament import TournamentPredictor
+
+#: Predictor families evaluated in Figure 5.
+PREDICTOR_KINDS = ("gshare", "tournament", "tage")
+
+#: Budget labels used throughout the paper.
+PREDICTOR_BUDGETS = ("small", "big")
+
+#: Table II size parameters per (kind, budget).
+SIZE_PARAMETERS: Dict[Tuple[str, str], Dict[str, int]] = {
+    ("gshare", "small"): {"history_bits": 13},
+    ("gshare", "big"): {"history_bits": 16},
+    ("tournament", "small"): {"local_index_bits": 10, "history_bits": 8},
+    ("tournament", "big"): {"local_index_bits": 12, "history_bits": 14},
+    ("tage", "small"): {
+        "num_tables": 2,
+        "entries_per_table": 256,
+        "tag_bits": 9,
+        "min_history": 4,
+        "max_history": 16,
+        "base_entries": 4096,
+    },
+    ("tage", "big"): {
+        "num_tables": 12,
+        "entries_per_table": 512,
+        "tag_bits": 10,
+        "min_history": 4,
+        "max_history": 300,
+        "base_entries": 8192,
+    },
+}
+
+
+def make_predictor(kind: str, budget: str = "small", with_loop: bool = False) -> BranchPredictor:
+    """Build a predictor configuration by family, budget, and loop option.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"gshare"``, ``"tournament"``, ``"tage"``.
+    budget:
+        ``"small"`` (~2KB) or ``"big"`` (~16KB), as in Table II.
+    with_loop:
+        Add the 64-entry loop branch predictor on top of the base
+        predictor (the paper evaluates this only for small budgets, but
+        any combination is allowed here).
+    """
+    kind = kind.lower()
+    budget = budget.lower()
+    if kind not in PREDICTOR_KINDS:
+        raise ValueError(f"unknown predictor kind {kind!r}; expected one of {PREDICTOR_KINDS}")
+    if budget not in PREDICTOR_BUDGETS:
+        raise ValueError(f"unknown budget {budget!r}; expected one of {PREDICTOR_BUDGETS}")
+
+    parameters = SIZE_PARAMETERS[(kind, budget)]
+    if kind == "gshare":
+        predictor: BranchPredictor = GsharePredictor(**parameters)
+    elif kind == "tournament":
+        predictor = TournamentPredictor(**parameters)
+    else:
+        predictor = TagePredictor(**parameters)
+
+    if with_loop:
+        predictor = PredictorWithLoop(predictor, LoopPredictor())
+    return predictor
+
+
+def predictor_configurations() -> List[Tuple[str, str, str, bool]]:
+    """The nine Figure 5 configurations as (label, kind, budget, with_loop).
+
+    The order matches the paper's legend: the three big predictors, the
+    three small predictors, and the three small predictors with a loop
+    predictor added.
+    """
+    configurations: List[Tuple[str, str, str, bool]] = []
+    for kind in PREDICTOR_KINDS:
+        configurations.append((f"{kind}-big", kind, "big", False))
+    for kind in PREDICTOR_KINDS:
+        configurations.append((f"{kind}-small", kind, "small", False))
+    for kind in PREDICTOR_KINDS:
+        configurations.append((f"L-{kind}-small", kind, "small", True))
+    return configurations

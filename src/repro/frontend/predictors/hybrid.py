@@ -1,0 +1,33 @@
+"""Base predictor augmented with a loop branch predictor.
+
+The paper's proposal for HPC-tailored cores: a small base predictor
+(gshare, tournament, or TAGE) whose prediction is overridden by a
+64-entry loop predictor whenever the loop predictor has high confidence
+in the branch being a constant-trip-count loop latch.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.predictors.base import BranchPredictor
+from repro.frontend.predictors.loop import LoopPredictor
+
+
+class PredictorWithLoop(BranchPredictor):
+    """Hybrid of a base direction predictor and a loop predictor."""
+
+    def __init__(self, base: BranchPredictor, loop: LoopPredictor = None) -> None:
+        self.base = base
+        self.loop = loop if loop is not None else LoopPredictor()
+        self.name = f"L-{base.name}"
+
+    def predict(self, address: int) -> bool:
+        if self.loop.is_confident(address):
+            return self.loop.predict(address)
+        return self.base.predict(address)
+
+    def update(self, address: int, taken: bool) -> None:
+        self.base.update(address, taken)
+        self.loop.update(address, taken)
+
+    def storage_bits(self) -> int:
+        return self.base.storage_bits() + self.loop.storage_bits()

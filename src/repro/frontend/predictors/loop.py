@@ -1,0 +1,123 @@
+"""Loop branch predictor (LBP).
+
+Identifies branches that behave like loop latches with a constant trip
+count (taken N-1 times, then not taken once) and, once confident,
+predicts the loop exit exactly.  The paper evaluates a 64-entry LBP
+with an approximate hardware budget of 512 bytes, used as a side
+predictor next to a small base predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.predictors.base import BranchPredictor
+
+
+@dataclass
+class _LoopEntry:
+    """State tracked for one (potential) loop branch."""
+
+    tag: int
+    trip_count: int = 0
+    current_count: int = 0
+    confidence: int = 0
+    age: int = 0
+
+
+class LoopPredictor(BranchPredictor):
+    """Direct-mapped table of loop trip-count trackers."""
+
+    name = "loop"
+
+    #: Confidence threshold above which the loop prediction overrides
+    #: the base predictor.  The branch must complete this many
+    #: consecutive loop executions with the same trip count, which keeps
+    #: loops with slightly varying trip counts from triggering wrong
+    #: overrides.
+    CONFIDENCE_THRESHOLD = 7
+
+    #: Minimum learned trip count for a branch to be treated as a loop
+    #: latch.  Mostly-not-taken conditionals look like "trip 1 loops"
+    #: and are better left to the base predictor.
+    MIN_TRIP_COUNT = 2
+
+    def __init__(
+        self,
+        entries: int = 64,
+        tag_bits: int = 14,
+        counter_bits: int = 14,
+        confidence_bits: int = 3,
+    ) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.counter_bits = counter_bits
+        self.confidence_bits = confidence_bits
+        self._table: list = [None] * entries
+        self._max_count = (1 << counter_bits) - 1
+        self._max_confidence = (1 << confidence_bits) - 1
+
+    def _slot_and_tag(self, address: int) -> tuple:
+        pc = address >> 2
+        slot = pc & (self.entries - 1)
+        tag = (pc >> (self.entries.bit_length() - 1)) & ((1 << self.tag_bits) - 1)
+        return slot, tag
+
+    def _entry(self, address: int) -> Optional[_LoopEntry]:
+        slot, tag = self._slot_and_tag(address)
+        entry = self._table[slot]
+        if entry is not None and entry.tag == tag:
+            return entry
+        return None
+
+    def is_confident(self, address: int) -> bool:
+        """Whether the loop predictor should override the base predictor."""
+        entry = self._entry(address)
+        return (
+            entry is not None
+            and entry.trip_count >= self.MIN_TRIP_COUNT
+            and entry.confidence >= self.CONFIDENCE_THRESHOLD
+        )
+
+    def predict(self, address: int) -> bool:
+        entry = self._entry(address)
+        if entry is None or entry.trip_count == 0:
+            return True
+        # Predict "keep looping" except on the learned final iteration.
+        return entry.current_count + 1 < entry.trip_count
+
+    def update(self, address: int, taken: bool) -> None:
+        slot, tag = self._slot_and_tag(address)
+        entry = self._table[slot]
+        if entry is None or entry.tag != tag:
+            # Allocate: start tracking this branch as a potential loop.
+            if entry is not None and entry.confidence >= self.CONFIDENCE_THRESHOLD:
+                # Keep confident residents; age them instead of evicting
+                # immediately so useful loops are not thrashed.
+                entry.age += 1
+                if entry.age < 4:
+                    return
+            self._table[slot] = _LoopEntry(
+                tag=tag, current_count=1 if taken else 0
+            )
+            return
+
+        entry.age = 0
+        if taken:
+            entry.current_count = min(entry.current_count + 1, self._max_count)
+            return
+        # A not-taken outcome closes one loop execution.
+        iterations = entry.current_count + 1
+        if entry.trip_count == iterations:
+            entry.confidence = min(entry.confidence + 1, self._max_confidence)
+        else:
+            entry.trip_count = iterations
+            entry.confidence = 0
+        entry.current_count = 0
+
+    def storage_bits(self) -> int:
+        per_entry = self.tag_bits + 2 * self.counter_bits + self.confidence_bits + 4
+        return self.entries * per_entry

@@ -1,0 +1,252 @@
+"""TAGE: TAgged GEometric history length branch predictor.
+
+A base bimodal predictor plus a set of partially tagged tables indexed
+with hashes of geometrically increasing global history lengths (Seznec,
+JILP 2006).  The configuration knobs follow the paper's Table II: the
+"big" (~16KB-class) configuration uses 12 tagged components, the
+"small" (~2KB) configuration keeps only two components with history
+lengths 4 and 16 and roughly a third of the entries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.frontend.predictors.base import BranchPredictor, index_bits
+from repro.frontend.predictors.bimodal import BimodalPredictor
+
+
+class _FoldedHistory:
+    """Global history folded (XOR-compressed) to a fixed width.
+
+    Maintained incrementally: each update shifts in the newest history
+    bit and removes the bit that just left the history window, keeping
+    the folded register equal to the XOR of consecutive chunks of the
+    last ``original_length`` history bits.
+    """
+
+    def __init__(self, original_length: int, compressed_length: int) -> None:
+        self.original_length = original_length
+        self.compressed_length = compressed_length
+        self.outpoint = original_length % compressed_length
+        self.mask = (1 << compressed_length) - 1
+        self.value = 0
+
+    def update(self, new_bit: int, evicted_bit: int) -> None:
+        value = ((self.value << 1) | new_bit) & ((self.mask << 1) | 1)
+        value ^= evicted_bit << self.outpoint
+        value ^= value >> self.compressed_length
+        self.value = value & self.mask
+
+
+class _TaggedTable:
+    """One tagged TAGE component."""
+
+    def __init__(self, entries: int, tag_bits: int, history_length: int) -> None:
+        self.entries = entries
+        self.tag_bits = tag_bits
+        self.history_length = history_length
+        self.index_bits = index_bits(entries)
+        self.counters = [3] * entries  # 3-bit counters, 3 = weak not-taken
+        self.tags = [0] * entries
+        self.useful = [0] * entries
+        self.index_fold = _FoldedHistory(history_length, self.index_bits)
+        self.tag_fold_a = _FoldedHistory(history_length, tag_bits)
+        self.tag_fold_b = _FoldedHistory(history_length, max(1, tag_bits - 1))
+
+    def index(self, address: int) -> int:
+        pc = address >> 2
+        value = pc ^ (pc >> self.index_bits) ^ self.index_fold.value
+        return value & (self.entries - 1)
+
+    def tag(self, address: int) -> int:
+        pc = address >> 2
+        value = pc ^ self.tag_fold_a.value ^ (self.tag_fold_b.value << 1)
+        return value & ((1 << self.tag_bits) - 1)
+
+    def storage_bits(self) -> int:
+        return self.entries * (3 + 2 + self.tag_bits)
+
+
+def _geometric_lengths(minimum: int, maximum: int, count: int) -> List[int]:
+    """History lengths forming a geometric series from minimum to maximum."""
+    if count == 1:
+        return [minimum]
+    lengths = []
+    ratio = (maximum / minimum) ** (1.0 / (count - 1))
+    for index in range(count):
+        length = int(round(minimum * (ratio ** index)))
+        if lengths and length <= lengths[-1]:
+            length = lengths[-1] + 1
+        lengths.append(length)
+    return lengths
+
+
+class TagePredictor(BranchPredictor):
+    """Base bimodal predictor plus tagged geometric-history components."""
+
+    name = "tage"
+
+    def __init__(
+        self,
+        num_tables: int = 12,
+        entries_per_table: int = 512,
+        tag_bits: int = 10,
+        min_history: int = 4,
+        max_history: int = 300,
+        base_entries: int = 8192,
+        useful_reset_period: int = 256 * 1024,
+    ) -> None:
+        if num_tables < 1:
+            raise ValueError("TAGE needs at least one tagged table")
+        self.base = BimodalPredictor(base_entries)
+        lengths = _geometric_lengths(min_history, max_history, num_tables)
+        self.tables = [
+            _TaggedTable(entries_per_table, tag_bits, length) for length in lengths
+        ]
+        self.max_history = max(lengths)
+        self._history = [0] * self.max_history  # newest bit at position 0
+        self._useful_reset_period = useful_reset_period
+        self._updates_since_reset = 0
+        self._allocation_seed = 0x12345
+        self._last: Optional[Tuple[int, List[int], List[int], Optional[int], bool, bool]] = None
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _lookup(self, address: int):
+        indices = [table.index(address) for table in self.tables]
+        tags = [table.tag(address) for table in self.tables]
+        provider = None
+        alternate = None
+        for table_id in range(len(self.tables) - 1, -1, -1):
+            if self.tables[table_id].tags[indices[table_id]] == tags[table_id]:
+                if provider is None:
+                    provider = table_id
+                elif alternate is None:
+                    alternate = table_id
+                    break
+        if provider is not None:
+            table = self.tables[provider]
+            provider_pred = table.counters[indices[provider]] >= 4
+        else:
+            provider_pred = self.base.predict(address)
+        if alternate is not None:
+            alt_table = self.tables[alternate]
+            alternate_pred = alt_table.counters[indices[alternate]] >= 4
+        else:
+            alternate_pred = self.base.predict(address)
+        return indices, tags, provider, alternate, provider_pred, alternate_pred
+
+    def predict(self, address: int) -> bool:
+        indices, tags, provider, alternate, provider_pred, alternate_pred = self._lookup(
+            address
+        )
+        self._last = (address, indices, tags, provider, alternate, provider_pred, alternate_pred)
+        return provider_pred
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+    def update(self, address: int, taken: bool) -> None:
+        if self._last is None or self._last[0] != address:
+            self.predict(address)
+        _, indices, tags, provider, alternate, provider_pred, alternate_pred = self._last
+        self._last = None
+
+        correct = provider_pred == taken
+
+        # Update usefulness of the provider when it differed from the
+        # alternate prediction.
+        if provider is not None and provider_pred != alternate_pred:
+            entry = indices[provider]
+            useful = self.tables[provider].useful[entry]
+            if correct:
+                self.tables[provider].useful[entry] = min(3, useful + 1)
+            else:
+                self.tables[provider].useful[entry] = max(0, useful - 1)
+
+        # Train the provider (or the base predictor).
+        if provider is not None:
+            entry = indices[provider]
+            counter = self.tables[provider].counters[entry]
+            if taken:
+                counter = min(7, counter + 1)
+            else:
+                counter = max(0, counter - 1)
+            self.tables[provider].counters[entry] = counter
+            # Also train the base predictor when the provider entry is weak.
+            if counter in (3, 4):
+                self.base.update(address, taken)
+        else:
+            self.base.update(address, taken)
+
+        # On a misprediction, try to allocate an entry in a table with a
+        # longer history than the provider.
+        if not correct:
+            self._allocate(address, taken, indices, tags, provider)
+
+        self._advance_history(address, taken)
+        self._maybe_reset_useful()
+
+    def _allocate(
+        self,
+        address: int,
+        taken: bool,
+        indices: List[int],
+        tags: List[int],
+        provider: Optional[int],
+    ) -> None:
+        start = 0 if provider is None else provider + 1
+        candidates = [
+            table_id
+            for table_id in range(start, len(self.tables))
+            if self.tables[table_id].useful[indices[table_id]] == 0
+        ]
+        if not candidates:
+            for table_id in range(start, len(self.tables)):
+                entry = indices[table_id]
+                self.tables[table_id].useful[entry] = max(
+                    0, self.tables[table_id].useful[entry] - 1
+                )
+            return
+        # Pseudo-random choice among the first two candidates (favours
+        # shorter histories, as in the original proposal).
+        self._allocation_seed = (self._allocation_seed * 1103515245 + 12345) & 0x7FFFFFFF
+        choice = candidates[0]
+        if len(candidates) > 1 and (self._allocation_seed & 0x3) == 0:
+            choice = candidates[1]
+        entry = indices[choice]
+        table = self.tables[choice]
+        table.tags[entry] = tags[choice]
+        table.counters[entry] = 4 if taken else 3
+        table.useful[entry] = 0
+
+    def _advance_history(self, address: int, taken: bool) -> None:
+        evicted_bits = {}
+        for table in self.tables:
+            evicted_bits[table.history_length] = self._history[table.history_length - 1]
+        new_bit = int(taken) ^ ((address >> 2) & 1)
+        self._history.insert(0, new_bit)
+        self._history.pop()
+        for table in self.tables:
+            evicted = evicted_bits[table.history_length]
+            table.index_fold.update(new_bit, evicted)
+            table.tag_fold_a.update(new_bit, evicted)
+            table.tag_fold_b.update(new_bit, evicted)
+
+    def _maybe_reset_useful(self) -> None:
+        self._updates_since_reset += 1
+        if self._updates_since_reset < self._useful_reset_period:
+            return
+        self._updates_since_reset = 0
+        for table in self.tables:
+            table.useful = [value >> 1 for value in table.useful]
+
+    # ------------------------------------------------------------------
+    # Cost
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        return self.base.storage_bits() + sum(
+            table.storage_bits() for table in self.tables
+        )

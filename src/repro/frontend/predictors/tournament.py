@@ -1,0 +1,82 @@
+"""Alpha 21264 style tournament predictor.
+
+Two component predictors -- one driven by per-branch local history and
+one driven by global history -- plus a choice predictor that learns
+which component to trust for each branch.  Table II sizes it as
+``2^n (m + 2) + 2^(m + 2)`` bits with ``n = 10, m = 8`` (small, ~2KB)
+and ``n = 12, m = 14`` (big, ~16KB).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.predictors.base import BranchPredictor, SaturatingCounter
+
+
+class TournamentPredictor(BranchPredictor):
+    """Hybrid local/global predictor with a per-branch choice table."""
+
+    name = "tournament"
+
+    def __init__(self, local_index_bits: int = 10, history_bits: int = 8) -> None:
+        if local_index_bits < 1 or history_bits < 1:
+            raise ValueError("index and history widths must be at least 1")
+        self.local_index_bits = local_index_bits
+        self.history_bits = history_bits
+
+        self.local_history_entries = 1 << local_index_bits
+        self.prediction_entries = 1 << history_bits
+
+        self._local_history = [0] * self.local_history_entries
+        self._local_counters = [2] * self.prediction_entries
+        self._global_counters = [2] * self.prediction_entries
+        # Choice counter per local-history entry; >=2 means trust global.
+        self._choice = [2] * self.local_history_entries
+        self._global_history = 0
+
+        self._local_mask = self.local_history_entries - 1
+        self._prediction_mask = self.prediction_entries - 1
+
+    def _local_slot(self, address: int) -> int:
+        return (address >> 2) & self._local_mask
+
+    def _components(self, address: int):
+        slot = self._local_slot(address)
+        local_index = self._local_history[slot] & self._prediction_mask
+        global_index = self._global_history & self._prediction_mask
+        local_taken = SaturatingCounter.taken(self._local_counters[local_index])
+        global_taken = SaturatingCounter.taken(self._global_counters[global_index])
+        return slot, local_index, global_index, local_taken, global_taken
+
+    def predict(self, address: int) -> bool:
+        slot, _, _, local_taken, global_taken = self._components(address)
+        use_global = self._choice[slot] >= 2
+        return global_taken if use_global else local_taken
+
+    def update(self, address: int, taken: bool) -> None:
+        slot, local_index, global_index, local_taken, global_taken = self._components(
+            address
+        )
+        # Train the choice predictor only when the components disagree.
+        if local_taken != global_taken:
+            self._choice[slot] = SaturatingCounter.update(
+                self._choice[slot], global_taken == taken
+            )
+        self._local_counters[local_index] = SaturatingCounter.update(
+            self._local_counters[local_index], taken
+        )
+        self._global_counters[global_index] = SaturatingCounter.update(
+            self._global_counters[global_index], taken
+        )
+        self._local_history[slot] = (
+            (self._local_history[slot] << 1) | int(taken)
+        ) & self._prediction_mask
+        self._global_history = (
+            (self._global_history << 1) | int(taken)
+        ) & self._prediction_mask
+
+    def storage_bits(self) -> int:
+        # Local histories (m bits each) + choice (2 bits each) for 2^n
+        # entries, plus two banks of 2-bit counters with 2^m entries.
+        per_branch = self.local_history_entries * (self.history_bits + 2)
+        counters = 2 * (self.prediction_entries * 2)
+        return per_branch + counters

@@ -1,0 +1,242 @@
+"""Drive traces through the front-end structure simulators.
+
+These functions are the microarchitecture-dependent pintools of
+Section IV: each one walks the dynamic trace and reports misses per
+kilo-instruction (MPKI) for a branch predictor, a BTB, or an I-cache,
+optionally restricted to the serial or parallel code section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.configs import FrontEndConfig
+from repro.frontend.icache import InstructionCache
+from repro.frontend.predictors import BranchPredictor
+from repro.trace.events import Trace
+from repro.trace.instruction import BranchKind, CodeSection
+
+
+@dataclass
+class BranchPredictionResult:
+    """Outcome of simulating a direction predictor over a trace section."""
+
+    predictor_name: str
+    section: CodeSection
+    instruction_count: int
+    conditional_branches: int
+    mispredictions: int
+    mispredicted_not_taken: int
+    mispredicted_taken_backward: int
+    mispredicted_taken_forward: int
+
+    @property
+    def mpki(self) -> float:
+        """Branch mispredictions per kilo-instruction."""
+        if self.instruction_count == 0:
+            return 0.0
+        return self.mispredictions * 1000.0 / self.instruction_count
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Mispredictions per executed conditional branch."""
+        if self.conditional_branches == 0:
+            return 0.0
+        return self.mispredictions / self.conditional_branches
+
+    def breakdown_mpki(self) -> dict:
+        """MPKI split by the outcome class of the mispredicted branch."""
+        if self.instruction_count == 0:
+            return {"not taken": 0.0, "taken backward": 0.0, "taken forward": 0.0}
+        scale = 1000.0 / self.instruction_count
+        return {
+            "not taken": self.mispredicted_not_taken * scale,
+            "taken backward": self.mispredicted_taken_backward * scale,
+            "taken forward": self.mispredicted_taken_forward * scale,
+        }
+
+
+@dataclass
+class BTBResult:
+    """Outcome of simulating a branch target buffer over a trace section."""
+
+    entries: int
+    associativity: int
+    section: CodeSection
+    instruction_count: int
+    taken_branches: int
+    misses: int
+
+    @property
+    def mpki(self) -> float:
+        """BTB misses per kilo-instruction."""
+        if self.instruction_count == 0:
+            return 0.0
+        return self.misses * 1000.0 / self.instruction_count
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per taken branch lookup."""
+        if self.taken_branches == 0:
+            return 0.0
+        return self.misses / self.taken_branches
+
+
+@dataclass
+class ICacheResult:
+    """Outcome of simulating an instruction cache over a trace section."""
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    section: CodeSection
+    instruction_count: int
+    accesses: int
+    misses: int
+
+    @property
+    def mpki(self) -> float:
+        """I-cache misses per kilo-instruction."""
+        if self.instruction_count == 0:
+            return 0.0
+        return self.misses * 1000.0 / self.instruction_count
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per line access."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+@dataclass
+class FrontEndResult:
+    """MPKI of the three front-end structures for one configuration."""
+
+    config_name: str
+    section: CodeSection
+    branch: BranchPredictionResult
+    btb: BTBResult
+    icache: ICacheResult
+
+
+def simulate_branch_predictor(
+    trace: Trace,
+    predictor: BranchPredictor,
+    section: CodeSection = CodeSection.TOTAL,
+) -> BranchPredictionResult:
+    """Measure the branch MPKI of a direction predictor on one trace."""
+    mispredictions = 0
+    miss_not_taken = 0
+    miss_taken_backward = 0
+    miss_taken_forward = 0
+    conditional = 0
+
+    for record in trace.branch_records(section):
+        if not record.kind.is_conditional:
+            continue
+        conditional += 1
+        prediction = predictor.predict(record.address)
+        predictor.update(record.address, record.taken)
+        if prediction == record.taken:
+            continue
+        mispredictions += 1
+        if not record.taken:
+            miss_not_taken += 1
+        elif record.is_backward:
+            miss_taken_backward += 1
+        else:
+            miss_taken_forward += 1
+
+    return BranchPredictionResult(
+        predictor_name=predictor.name,
+        section=section,
+        instruction_count=trace.instruction_count(section),
+        conditional_branches=conditional,
+        mispredictions=mispredictions,
+        mispredicted_not_taken=miss_not_taken,
+        mispredicted_taken_backward=miss_taken_backward,
+        mispredicted_taken_forward=miss_taken_forward,
+    )
+
+
+def simulate_btb(
+    trace: Trace,
+    btb: Optional[BranchTargetBuffer] = None,
+    section: CodeSection = CodeSection.TOTAL,
+    entries: int = 2048,
+    associativity: int = 4,
+    include_returns: bool = False,
+) -> BTBResult:
+    """Measure BTB MPKI: taken branches that miss in the target buffer.
+
+    Returns are excluded by default because their targets are supplied
+    by the return address stack rather than the BTB.
+    """
+    if btb is None:
+        btb = BranchTargetBuffer(entries, associativity)
+    taken_branches = 0
+    misses = 0
+    for record in trace.branch_records(section):
+        if not record.taken or record.target is None:
+            continue
+        if not include_returns and record.kind is BranchKind.RETURN:
+            continue
+        taken_branches += 1
+        if not btb.access(record.address, record.target):
+            misses += 1
+    return BTBResult(
+        entries=btb.entries,
+        associativity=btb.associativity,
+        section=section,
+        instruction_count=trace.instruction_count(section),
+        taken_branches=taken_branches,
+        misses=misses,
+    )
+
+
+def simulate_icache(
+    trace: Trace,
+    cache: Optional[InstructionCache] = None,
+    section: CodeSection = CodeSection.TOTAL,
+    size_bytes: int = 32 * 1024,
+    line_bytes: int = 64,
+    associativity: int = 4,
+) -> ICacheResult:
+    """Measure I-cache MPKI with sequential-fetch access semantics."""
+    if cache is None:
+        cache = InstructionCache(size_bytes, line_bytes, associativity)
+    blocks = trace.program.blocks
+    misses = 0
+    for event in trace.block_events(section):
+        block = blocks[event.block_id]
+        misses += cache.fetch_range(block.address, block.size_bytes)
+    return ICacheResult(
+        size_bytes=cache.size_bytes,
+        line_bytes=cache.line_bytes,
+        associativity=cache.associativity,
+        section=section,
+        instruction_count=trace.instruction_count(section),
+        accesses=cache.accesses,
+        misses=misses,
+    )
+
+
+def simulate_frontend(
+    trace: Trace,
+    config: FrontEndConfig,
+    section: CodeSection = CodeSection.TOTAL,
+) -> FrontEndResult:
+    """Simulate all three structures of a front-end configuration."""
+    branch = simulate_branch_predictor(trace, config.predictor.build(), section)
+    btb = simulate_btb(trace, config.btb.build(), section)
+    icache = simulate_icache(trace, config.icache.build(), section)
+    return FrontEndResult(
+        config_name=config.name,
+        section=section,
+        branch=branch,
+        btb=btb,
+        icache=icache,
+    )

@@ -1,0 +1,36 @@
+"""Area, power, energy, and energy-delay models (McPAT/CACTI substitute).
+
+The paper projects area and power with McPAT + CACTI at 40nm for a
+Cortex-A9-class core (Table III) and evaluates chip-level power, energy
+and energy-delay for the four CMP configurations (Figure 10).  This
+subpackage provides:
+
+* :mod:`repro.power.sram` -- a CACTI-like SRAM array model (area,
+  leakage, per-access energy) calibrated against the Table III values,
+* :mod:`repro.power.core_power` -- core-level area and power built from
+  the front-end structures plus the (unchanged) rest of the core,
+* :mod:`repro.power.cmp_power` -- CMP-level power, energy, and
+  energy-delay for a workload run.
+"""
+
+from repro.power.sram import SramArray, sram_for_btb, sram_for_icache, sram_for_predictor
+from repro.power.core_power import (
+    CoreAreaPower,
+    FrontEndAreaPower,
+    core_area_power,
+    frontend_area_power,
+)
+from repro.power.cmp_power import CmpEnergyResult, evaluate_cmp_energy
+
+__all__ = [
+    "SramArray",
+    "sram_for_icache",
+    "sram_for_predictor",
+    "sram_for_btb",
+    "FrontEndAreaPower",
+    "CoreAreaPower",
+    "frontend_area_power",
+    "core_area_power",
+    "CmpEnergyResult",
+    "evaluate_cmp_energy",
+]

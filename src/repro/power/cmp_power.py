@@ -1,0 +1,82 @@
+"""CMP-level power, energy, and energy-delay evaluation (Figure 10).
+
+Following the paper, only the private resources (cores and their L2
+slices) are accounted because the shared last-level cache and
+interconnect are identical across configurations.  Power combines each
+core's active power weighted by its busy time with its idle power for
+the remainder of the run, plus the L2 slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.core_power import (
+    L2_AREA_MM2,
+    L2_POWER_W,
+    CoreAreaPower,
+    core_area_power,
+)
+from repro.uarch.cmp import CmpConfig
+from repro.uarch.simulator import CmpRunResult
+
+
+@dataclass(frozen=True)
+class CmpEnergyResult:
+    """Execution time, power, energy, and ED product of one CMP run."""
+
+    workload_name: str
+    cmp_name: str
+    execution_seconds: float
+    average_power_w: float
+    area_mm2: float
+
+    @property
+    def energy_j(self) -> float:
+        """Total energy of the run."""
+        return self.average_power_w * self.execution_seconds
+
+    @property
+    def energy_delay(self) -> float:
+        """Energy-delay product."""
+        return self.energy_j * self.execution_seconds
+
+
+def cmp_area_mm2(cmp: CmpConfig, include_l2: bool = True) -> float:
+    """Total private area of a CMP configuration.
+
+    ``include_l2`` adds the per-core private L2 slices (the budget the
+    power analysis accounts); the paper's "same area budget" argument
+    for Asymmetric++ is made on core area alone, which is what
+    ``include_l2=False`` returns.
+    """
+    area = 0.0
+    l2_area = L2_AREA_MM2 if include_l2 else 0.0
+    for core, count in cmp.worker_cores:
+        core_budget = core_area_power(core)
+        area += count * (core_budget.total_area_mm2 + l2_area)
+    return area
+
+
+def evaluate_cmp_energy(run: CmpRunResult) -> CmpEnergyResult:
+    """Compute average power, energy, and ED product for one CMP run."""
+    execution = run.execution_seconds
+    if execution <= 0:
+        raise ValueError("execution time must be positive")
+
+    total_energy = 0.0
+    for activity in run.activities:
+        budget: CoreAreaPower = core_area_power(activity.core)
+        busy = min(activity.busy_seconds_per_core, execution)
+        idle = execution - busy
+        per_core_energy = budget.active_power_w * busy + budget.idle_power_w * idle
+        l2_energy = L2_POWER_W * execution
+        total_energy += activity.count * (per_core_energy + l2_energy)
+
+    return CmpEnergyResult(
+        workload_name=run.workload_name,
+        cmp_name=run.cmp.name,
+        execution_seconds=execution,
+        average_power_w=total_energy / execution,
+        area_mm2=cmp_area_mm2(run.cmp),
+    )

@@ -1,0 +1,136 @@
+"""Core-level area and power (the McPAT substitute, Table III).
+
+A Cortex-A9-class core is modelled as its three front-end structures
+(I-cache, branch predictor, BTB) plus a fixed "rest of the core" whose
+area and power are calibrated so the baseline core reproduces the
+paper's 2.49 mm^2 and 0.85 W totals at 40nm.  Only the front-end
+changes between the baseline and tailored flavours, exactly as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.frontend.configs import FrontEndConfig
+from repro.power.sram import (
+    SramArray,
+    sram_for_btb,
+    sram_for_icache,
+    sram_for_predictor,
+)
+from repro.uarch.core import CoreModel
+
+#: Area of everything outside the modelled front-end structures
+#: (execution units, L1D, register files, TLBs, ...), 40nm.
+REST_OF_CORE_AREA_MM2 = 1.92
+
+#: Power of everything outside the modelled front-end structures when
+#: the core is active.
+REST_OF_CORE_POWER_W = 0.73
+
+#: Nominal instruction throughput used to evaluate dynamic power (a
+#: lean core at ~2 GHz and IPC close to 1).
+NOMINAL_INSTRUCTIONS_PER_SECOND = 1.6e9
+
+#: Fraction of active power a core still burns when idle (leakage plus
+#: clock distribution).
+IDLE_POWER_FRACTION = 0.35
+
+#: Private L2 cache per core (area/power included in the CMP budget the
+#: paper analyses: "cores and L2 caches").
+L2_AREA_MM2 = 1.10
+L2_POWER_W = 0.12
+
+
+@dataclass(frozen=True)
+class FrontEndAreaPower:
+    """Area and power of the three front-end structures."""
+
+    icache: SramArray
+    predictor_bits: int
+    btb_entries: int
+    icache_area_mm2: float
+    icache_power_w: float
+    predictor_area_mm2: float
+    predictor_power_w: float
+    btb_area_mm2: float
+    btb_power_w: float
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Combined front-end area."""
+        return self.icache_area_mm2 + self.predictor_area_mm2 + self.btb_area_mm2
+
+    @property
+    def total_power_w(self) -> float:
+        """Combined front-end power at nominal throughput."""
+        return self.icache_power_w + self.predictor_power_w + self.btb_power_w
+
+    def as_rows(self) -> Dict[str, Dict[str, float]]:
+        """Per-structure area/power rows (for the Table III report)."""
+        return {
+            "I-cache": {"area_mm2": self.icache_area_mm2, "power_w": self.icache_power_w},
+            "BP": {"area_mm2": self.predictor_area_mm2, "power_w": self.predictor_power_w},
+            "BTB": {"area_mm2": self.btb_area_mm2, "power_w": self.btb_power_w},
+        }
+
+
+@dataclass(frozen=True)
+class CoreAreaPower:
+    """Total core area and power for one core flavour."""
+
+    core_name: str
+    frontend: FrontEndAreaPower
+    rest_area_mm2: float = REST_OF_CORE_AREA_MM2
+    rest_power_w: float = REST_OF_CORE_POWER_W
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Core area including the front-end."""
+        return self.rest_area_mm2 + self.frontend.total_area_mm2
+
+    @property
+    def active_power_w(self) -> float:
+        """Power while executing instructions."""
+        return self.rest_power_w + self.frontend.total_power_w
+
+    @property
+    def idle_power_w(self) -> float:
+        """Power while idle (leakage and clocking)."""
+        return self.active_power_w * IDLE_POWER_FRACTION
+
+    def area_with_l2_mm2(self) -> float:
+        """Core plus its private L2 slice."""
+        return self.total_area_mm2 + L2_AREA_MM2
+
+
+def frontend_area_power(
+    config: FrontEndConfig,
+    instructions_per_second: float = NOMINAL_INSTRUCTIONS_PER_SECOND,
+) -> FrontEndAreaPower:
+    """Evaluate the area and power of one front-end configuration."""
+    icache = sram_for_icache(config.icache.size_bytes, config.icache.line_bytes)
+    predictor = config.predictor.build()
+    predictor_array = sram_for_predictor(predictor.storage_bits())
+    btb_array = sram_for_btb(config.btb.entries)
+    return FrontEndAreaPower(
+        icache=icache,
+        predictor_bits=predictor.storage_bits(),
+        btb_entries=config.btb.entries,
+        icache_area_mm2=icache.area_mm2,
+        icache_power_w=icache.power_w(instructions_per_second),
+        predictor_area_mm2=predictor_array.area_mm2,
+        predictor_power_w=predictor_array.power_w(instructions_per_second),
+        btb_area_mm2=btb_array.area_mm2,
+        btb_power_w=btb_array.power_w(instructions_per_second),
+    )
+
+
+def core_area_power(core: CoreModel) -> CoreAreaPower:
+    """Evaluate total area and power of a core flavour."""
+    return CoreAreaPower(
+        core_name=core.name,
+        frontend=frontend_area_power(core.frontend),
+    )

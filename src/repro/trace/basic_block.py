@@ -1,0 +1,125 @@
+"""Static basic blocks of the synthetic program model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.trace.instruction import BranchKind
+
+
+@dataclass
+class BasicBlock:
+    """A static basic block in a synthetic program.
+
+    A block is a run of ``num_instructions`` straight-line instructions
+    followed (optionally) by a single control-flow instruction whose
+    kind is ``terminator``.  The terminator instruction is *included* in
+    ``num_instructions`` and in ``size_bytes`` when it exists.
+
+    Attributes
+    ----------
+    block_id:
+        Dense integer identifier, assigned by the :class:`Program` the
+        block belongs to.
+    num_instructions:
+        Number of instructions in the block, including its terminator.
+    size_bytes:
+        Total code size of the block in bytes.
+    terminator:
+        The control-flow kind ending the block (``BranchKind.NONE`` for
+        a pure fall-through block).
+    address:
+        Starting byte address, filled in by the layout pass.
+    taken_target:
+        Statically-known taken-target address for direct branches and
+        calls, filled in by the layout pass.  Indirect branches and
+        returns resolve their target dynamically and keep ``None``.
+    function_name:
+        Name of the function the block belongs to (for reports).
+    """
+
+    num_instructions: int
+    size_bytes: int
+    terminator: BranchKind = BranchKind.NONE
+    block_id: int = -1
+    address: int = 0
+    taken_target: Optional[int] = None
+    function_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_instructions < 1:
+            raise ValueError("a basic block must contain at least one instruction")
+        if self.size_bytes < self.num_instructions:
+            raise ValueError(
+                "size_bytes must be at least one byte per instruction "
+                f"(got {self.size_bytes} bytes for {self.num_instructions} instructions)"
+            )
+
+    @property
+    def end_address(self) -> int:
+        """Address of the first byte after the block."""
+        return self.address + self.size_bytes
+
+    @property
+    def branch_address(self) -> int:
+        """Address of the terminating branch instruction.
+
+        The terminator is modelled as the last instruction of the block;
+        its address is approximated as the start of the final
+        average-sized instruction slot.  Only meaningful when the block
+        has a branch terminator.
+        """
+        if not self.terminator.is_branch:
+            raise ValueError("fall-through blocks have no branch instruction")
+        avg_size = max(1, self.size_bytes // self.num_instructions)
+        return self.address + self.size_bytes - avg_size
+
+    @property
+    def fallthrough_address(self) -> int:
+        """Address executed when the terminator is not taken."""
+        return self.end_address
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BasicBlock(id={self.block_id}, addr=0x{self.address:x}, "
+            f"instrs={self.num_instructions}, bytes={self.size_bytes}, "
+            f"term={self.terminator.name})"
+        )
+
+
+@dataclass
+class BlockSizing:
+    """Helper describing how to size freshly created basic blocks.
+
+    The synthesis layer creates many blocks whose instruction counts are
+    drawn around a mean; this small value object keeps the knobs
+    together so region constructors stay readable.
+    """
+
+    mean_instructions: float = 10.0
+    min_instructions: int = 1
+    bytes_per_instruction: float = 4.0
+    spread: float = 0.35
+
+    def draw_instructions(self, rng) -> int:
+        """Draw an instruction count for one block."""
+        mean = self.mean_instructions
+        low = max(self.min_instructions, int(round(mean * (1.0 - self.spread))))
+        high = max(low, int(round(mean * (1.0 + self.spread))))
+        return int(rng.integers(low, high + 1))
+
+    def size_block(self, rng, terminator: BranchKind = BranchKind.NONE) -> BasicBlock:
+        """Create an unregistered block with drawn instruction count."""
+        instructions = self.draw_instructions(rng)
+        size = max(instructions, int(round(instructions * self.bytes_per_instruction)))
+        return BasicBlock(
+            num_instructions=instructions,
+            size_bytes=size,
+            terminator=terminator,
+        )
+
+
+def total_code_bytes(blocks: List[BasicBlock]) -> int:
+    """Total static code size of a list of blocks."""
+    return sum(block.size_bytes for block in blocks)

@@ -1,0 +1,192 @@
+"""Dynamic trace containers.
+
+The executor emits a stream of :class:`BlockEvent` records; the
+:class:`Trace` wraps that stream together with the static program and
+derives the per-branch view (:class:`BranchRecord`) that the front-end
+simulators consume.  This is the exact information a Pin instruction
+trace exposes to the paper's pintools: instruction addresses and sizes,
+branch kinds, outcomes, targets, and the serial/parallel section tag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence
+
+from repro.trace.basic_block import BasicBlock
+from repro.trace.instruction import BranchKind, CodeSection
+from repro.trace.program import Program
+
+
+class BlockEvent(NamedTuple):
+    """One dynamic execution of a static basic block."""
+
+    block_id: int
+    taken: bool
+    target: Optional[int]
+    section: CodeSection
+
+
+class BranchRecord(NamedTuple):
+    """One dynamic branch instruction, fully resolved.
+
+    Attributes
+    ----------
+    address:
+        Address of the branch instruction itself.
+    kind:
+        The :class:`BranchKind` of the instruction.
+    taken:
+        Dynamic outcome (unconditional branches, calls, and returns are
+        always taken).
+    target:
+        Target address when taken (``None`` only for syscalls).
+    fallthrough:
+        Address of the next sequential instruction.
+    section:
+        Serial or parallel code section.
+    """
+
+    address: int
+    kind: BranchKind
+    taken: bool
+    target: Optional[int]
+    fallthrough: int
+    section: CodeSection
+
+    @property
+    def is_backward(self) -> bool:
+        """Whether the taken target lies before the branch."""
+        return self.target is not None and self.target < self.address
+
+    @property
+    def is_forward(self) -> bool:
+        """Whether the taken target lies after the branch."""
+        return self.target is not None and self.target >= self.address
+
+
+class Trace(object):
+    """A dynamic instruction trace of one workload execution.
+
+    The trace stores block-granularity events (compact) and offers the
+    per-branch and per-instruction views that the analysis tools and the
+    hardware-structure simulators need.  Filtering by
+    :class:`CodeSection` reproduces the paper's total / serial /
+    parallel split.
+    """
+
+    def __init__(self, program: Program, events: Sequence[BlockEvent], name: str = "") -> None:
+        self.program = program
+        self.events: List[BlockEvent] = list(events)
+        self.name = name or program.name
+        self._instruction_counts: Optional[Dict[CodeSection, int]] = None
+        self._branch_cache: Dict[CodeSection, List[BranchRecord]] = {}
+
+    # ------------------------------------------------------------------
+    # Basic accounting
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def instruction_count(self, section: CodeSection = CodeSection.TOTAL) -> int:
+        """Dynamic instruction count of a code section."""
+        counts = self._count_instructions()
+        if section is CodeSection.TOTAL:
+            return counts[CodeSection.SERIAL] + counts[CodeSection.PARALLEL]
+        return counts[section]
+
+    def _count_instructions(self) -> Dict[CodeSection, int]:
+        if self._instruction_counts is None:
+            counts = {CodeSection.SERIAL: 0, CodeSection.PARALLEL: 0}
+            blocks = self.program.blocks
+            for event in self.events:
+                counts[event.section] += blocks[event.block_id].num_instructions
+            self._instruction_counts = counts
+        return self._instruction_counts
+
+    def section_fraction(self, section: CodeSection) -> float:
+        """Fraction of dynamic instructions executed in a section."""
+        total = self.instruction_count(CodeSection.TOTAL)
+        if total == 0:
+            return 0.0
+        return self.instruction_count(section) / total
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def block_events(
+        self, section: CodeSection = CodeSection.TOTAL
+    ) -> Iterator[BlockEvent]:
+        """Iterate block events, optionally restricted to one section."""
+        if section is CodeSection.TOTAL:
+            yield from self.events
+        else:
+            for event in self.events:
+                if event.section is section:
+                    yield event
+
+    def blocks_for(self, event: BlockEvent) -> BasicBlock:
+        """The static block an event refers to."""
+        return self.program.blocks[event.block_id]
+
+    def branch_records(
+        self, section: CodeSection = CodeSection.TOTAL
+    ) -> List[BranchRecord]:
+        """All dynamic branch instructions of a section, in order."""
+        if section not in self._branch_cache:
+            self._branch_cache[section] = list(self._build_branches(section))
+        return self._branch_cache[section]
+
+    def _build_branches(self, section: CodeSection) -> Iterator[BranchRecord]:
+        blocks = self.program.blocks
+        for event in self.block_events(section):
+            block = blocks[event.block_id]
+            kind = block.terminator
+            if not kind.is_branch:
+                continue
+            target = event.target
+            if target is None and block.taken_target is not None:
+                target = block.taken_target
+            yield BranchRecord(
+                address=block.branch_address,
+                kind=kind,
+                taken=event.taken,
+                target=target,
+                fallthrough=block.fallthrough_address,
+                section=event.section,
+            )
+
+    def branch_count(self, section: CodeSection = CodeSection.TOTAL) -> int:
+        """Number of dynamic branch instructions in a section."""
+        return len(self.branch_records(section))
+
+    def conditional_branches(
+        self, section: CodeSection = CodeSection.TOTAL
+    ) -> List[BranchRecord]:
+        """Only the conditional direct branches of a section."""
+        return [
+            record
+            for record in self.branch_records(section)
+            if record.kind.is_conditional
+        ]
+
+    def block_execution_counts(
+        self, section: CodeSection = CodeSection.TOTAL
+    ) -> Dict[int, int]:
+        """How many times each static block executed in a section."""
+        counts: Dict[int, int] = {}
+        for event in self.block_events(section):
+            counts[event.block_id] = counts.get(event.block_id, 0) + 1
+        return counts
+
+    def mpki(self, misses: int, section: CodeSection = CodeSection.TOTAL) -> float:
+        """Convert a miss count to misses per kilo-instruction."""
+        instructions = self.instruction_count(section)
+        if instructions == 0:
+            return 0.0
+        return misses * 1000.0 / instructions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace({self.name!r}, events={len(self.events)}, "
+            f"instructions={self.instruction_count()})"
+        )

@@ -1,0 +1,110 @@
+"""Instruction-level vocabulary shared across the package.
+
+The paper classifies dynamic branch instructions into the categories
+shown in Figure 1 (calls, indirect calls, direct branches, indirect
+branches, syscalls, and returns) and tags every instruction with the
+code section it belongs to (serial or parallel).  These enumerations are
+that vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BranchKind(enum.IntEnum):
+    """Terminator type of a basic block.
+
+    ``NONE`` marks a block that simply falls through to the next block
+    (no control-flow instruction at its end).  The remaining members
+    match the dynamic branch categories of Figure 1 in the paper, with
+    conditional and unconditional direct branches kept separate because
+    only conditional branches consult the branch predictor's direction
+    logic.
+    """
+
+    NONE = 0
+    CONDITIONAL_DIRECT = 1
+    UNCONDITIONAL_DIRECT = 2
+    CALL = 3
+    RETURN = 4
+    INDIRECT_CALL = 5
+    INDIRECT_BRANCH = 6
+    SYSCALL = 7
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether this terminator is a branch instruction at all."""
+        return self is not BranchKind.NONE
+
+    @property
+    def is_conditional(self) -> bool:
+        """Whether the branch consults the direction predictor."""
+        return self is BranchKind.CONDITIONAL_DIRECT
+
+    @property
+    def is_indirect(self) -> bool:
+        """Whether the branch target comes from a register/memory value."""
+        return self in (BranchKind.INDIRECT_CALL, BranchKind.INDIRECT_BRANCH)
+
+    @property
+    def is_call(self) -> bool:
+        """Whether the branch pushes a return address."""
+        return self in (BranchKind.CALL, BranchKind.INDIRECT_CALL)
+
+    @property
+    def figure1_category(self) -> str:
+        """Label used by the Figure 1 breakdown for this branch kind."""
+        labels = {
+            BranchKind.CONDITIONAL_DIRECT: "direct branch",
+            BranchKind.UNCONDITIONAL_DIRECT: "direct branch",
+            BranchKind.CALL: "call",
+            BranchKind.RETURN: "return",
+            BranchKind.INDIRECT_CALL: "indirect call",
+            BranchKind.INDIRECT_BRANCH: "indirect branch",
+            BranchKind.SYSCALL: "syscall",
+        }
+        if self is BranchKind.NONE:
+            raise ValueError("fall-through blocks have no branch category")
+        return labels[self]
+
+
+#: The branch categories of Figure 1, in the order the paper stacks them.
+FIGURE1_CATEGORIES = (
+    "call",
+    "indirect call",
+    "direct branch",
+    "indirect branch",
+    "syscall",
+    "return",
+)
+
+
+class CodeSection(enum.IntEnum):
+    """Which section of the application an instruction executes in.
+
+    The paper separates serial code (executed by the master thread
+    between parallel regions) from parallel code (executed inside
+    OpenMP/MPI parallel regions).  ``TOTAL`` is used by analysis entry
+    points to request the union of both.
+    """
+
+    SERIAL = 0
+    PARALLEL = 1
+    TOTAL = 2
+
+    @property
+    def label(self) -> str:
+        """Human-readable label used in reports."""
+        return self.name.lower()
+
+
+#: Average x86-64 instruction length in bytes used when synthesising
+#: block byte sizes.  SPEC-class binaries average roughly 3.7-4.0 bytes
+#: per instruction; the exact value only shifts every byte-denominated
+#: metric by the same factor and does not change any comparison.
+DEFAULT_INSTRUCTION_BYTES = 4.0
+
+#: Base virtual address of the synthetic text segment (mirrors the
+#: default load address of a non-PIE x86-64 ELF binary).
+TEXT_BASE_ADDRESS = 0x400000

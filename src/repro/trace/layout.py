@@ -1,0 +1,140 @@
+"""Code layout: assign text-segment addresses and static branch targets.
+
+The layout pass mimics what a compiler and linker do to the text
+segment: functions are placed one after another (16-byte aligned) and
+the blocks inside a function are laid out in the order the region tree
+yields them.  A second pass resolves the statically-known branch
+targets so that loop back-edges become *backward* branches and
+conditional branches that skip over code become *forward* branches,
+exactly the property the paper's backward/forward taken analysis
+(Table I) measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.trace.instruction import TEXT_BASE_ADDRESS
+from repro.trace.program import (
+    CallRegion,
+    CodeRegion,
+    Function,
+    If,
+    IndirectCallRegion,
+    IndirectJumpRegion,
+    JumpRegion,
+    Loop,
+    Program,
+    Region,
+    Sequence,
+    SyscallRegion,
+    _first_block,
+)
+
+
+def layout_program(
+    program: Program,
+    base_address: int = TEXT_BASE_ADDRESS,
+    function_alignment: int = 16,
+) -> Program:
+    """Assign addresses to every block and resolve static branch targets.
+
+    Returns the same program object for call chaining.
+    """
+    _assign_addresses(program, base_address, function_alignment)
+    for function in program.functions:
+        _resolve_region_targets(function.body)
+    return program
+
+
+def _assign_addresses(
+    program: Program, base_address: int, function_alignment: int
+) -> None:
+    """Place functions back to back and blocks contiguously inside them."""
+    cursor = base_address
+    for function in program.functions:
+        cursor = _align(cursor, function_alignment)
+        for block in function.blocks():
+            block.address = cursor
+            cursor += block.size_bytes
+
+
+def _align(address: int, alignment: int) -> int:
+    """Round an address up to the requested alignment."""
+    if alignment <= 1:
+        return address
+    remainder = address % alignment
+    if remainder == 0:
+        return address
+    return address + (alignment - remainder)
+
+
+def _resolve_region_targets(region: Region) -> None:
+    """Fill in the statically-known taken targets of a region tree."""
+    if isinstance(region, Sequence):
+        for child in region.regions:
+            _resolve_region_targets(child)
+    elif isinstance(region, Loop):
+        _resolve_loop(region)
+    elif isinstance(region, If):
+        _resolve_if(region)
+    elif isinstance(region, CallRegion):
+        region.call_block.taken_target = region.callee.entry_address
+    elif isinstance(region, IndirectJumpRegion):
+        _resolve_indirect_jump(region)
+    elif isinstance(region, JumpRegion):
+        region.block.taken_target = region.block.end_address
+    elif isinstance(region, (CodeRegion, SyscallRegion, IndirectCallRegion)):
+        # Fall-through code, syscalls and indirect calls have no
+        # statically-known taken target.
+        pass
+    else:  # pragma: no cover - guards against new region types
+        raise TypeError(f"unknown region type {type(region).__name__}")
+
+
+def _resolve_loop(loop: Loop) -> None:
+    """Point the latch back-edge at the start of the loop body."""
+    _resolve_region_targets(loop.body)
+    body_entry = _first_block(loop.body)
+    if body_entry is None:
+        # Degenerate empty-body loop: branch to the latch itself.
+        loop.latch.taken_target = loop.latch.address
+    else:
+        loop.latch.taken_target = body_entry.address
+
+
+def _resolve_if(conditional: If) -> None:
+    """Point the condition branch past the then region."""
+    _resolve_region_targets(conditional.then)
+    if conditional.orelse is not None:
+        _resolve_region_targets(conditional.orelse)
+        else_entry = _first_block(conditional.orelse)
+        join_address = _region_end_address(conditional.orelse)
+        if else_entry is None:
+            else_entry_address = join_address
+        else:
+            else_entry_address = else_entry.address
+        conditional.condition.taken_target = else_entry_address
+        if conditional.skip_else is not None:
+            conditional.skip_else.taken_target = join_address
+    else:
+        conditional.condition.taken_target = _region_end_address(conditional.then)
+
+
+def _resolve_indirect_jump(region: IndirectJumpRegion) -> None:
+    """Point each case's trailing jump at the join after the dispatch."""
+    for case in region.cases:
+        _resolve_region_targets(case)
+    join_address = region.case_exits[-1].end_address
+    for exit_block in region.case_exits:
+        exit_block.taken_target = join_address
+
+
+def _region_end_address(region: Region) -> int:
+    """Address of the first byte after the last block of a region."""
+    last: Optional[int] = None
+    for block in region.blocks():
+        last = block.end_address
+    if last is None:
+        raise ValueError("cannot compute the end address of an empty region")
+    return last

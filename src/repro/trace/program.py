@@ -1,0 +1,569 @@
+"""Structured synthetic program model.
+
+A :class:`Program` is a collection of :class:`Function` objects, each of
+which owns a tree of :class:`Region` nodes.  Regions model the control
+structures a compiler emits for scientific and integer codes: straight
+line code, counted and data-dependent loops, conditionals, direct and
+indirect calls, indirect jumps (switch dispatch), and system calls.
+
+Executing the tree (see :mod:`repro.trace.execution`) produces the
+dynamic basic-block stream from which every workload characteristic in
+the paper is measured.  Crucially, the characteristics *emerge* from the
+program structure -- loop back-edges produce backward-taken biased
+branches, loop-resident hot code produces small dynamic footprints, long
+loop bodies produce long basic blocks -- rather than being injected into
+the analysis results directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence as Seq, Tuple
+
+from repro.trace.basic_block import BasicBlock
+from repro.trace.instruction import BranchKind
+
+
+class TripCountModel(abc.ABC):
+    """Model of how many iterations a loop executes per invocation."""
+
+    @abc.abstractmethod
+    def draw(self, rng) -> int:
+        """Number of iterations for one invocation of the loop."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected iterations per invocation."""
+
+    @property
+    def is_regular(self) -> bool:
+        """Whether the trip count is the same on every invocation."""
+        return False
+
+
+class FixedTripCount(TripCountModel):
+    """Loop that always runs the same number of iterations.
+
+    These are the loops a loop branch predictor captures exactly.
+    """
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise ValueError("trip count must be at least 1")
+        self.count = int(count)
+
+    def draw(self, rng) -> int:
+        return self.count
+
+    @property
+    def mean(self) -> float:
+        return float(self.count)
+
+    @property
+    def is_regular(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FixedTripCount({self.count})"
+
+
+class UniformTripCount(TripCountModel):
+    """Loop whose trip count is drawn uniformly per invocation."""
+
+    def __init__(self, low: int, high: int) -> None:
+        if low < 1 or high < low:
+            raise ValueError("need 1 <= low <= high")
+        self.low = int(low)
+        self.high = int(high)
+
+    def draw(self, rng) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UniformTripCount({self.low}, {self.high})"
+
+
+class GeometricTripCount(TripCountModel):
+    """Loop whose trip count follows a (shifted) geometric distribution.
+
+    Models data-dependent while-loops whose exit condition is hard for a
+    loop predictor to learn.
+    """
+
+    def __init__(self, mean_iterations: float, minimum: int = 1) -> None:
+        if mean_iterations < minimum:
+            raise ValueError("mean must be at least the minimum trip count")
+        self.mean_iterations = float(mean_iterations)
+        self.minimum = int(minimum)
+
+    def draw(self, rng) -> int:
+        extra_mean = self.mean_iterations - self.minimum
+        if extra_mean <= 0:
+            return self.minimum
+        p = 1.0 / (extra_mean + 1.0)
+        return self.minimum + int(rng.geometric(p)) - 1
+
+    @property
+    def mean(self) -> float:
+        return self.mean_iterations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GeometricTripCount({self.mean_iterations}, min={self.minimum})"
+
+
+class Region(abc.ABC):
+    """A node of the structured control-flow tree."""
+
+    @abc.abstractmethod
+    def blocks(self) -> Iterator[BasicBlock]:
+        """All basic blocks owned by this region, in layout order."""
+
+    @abc.abstractmethod
+    def execute(self, ctx) -> None:
+        """Emit the dynamic block events for one execution of the region.
+
+        ``ctx`` is an :class:`repro.trace.execution.ExecutionContext`.
+        """
+
+    def code_bytes(self) -> int:
+        """Static code size of the region (excluding called functions)."""
+        return sum(block.size_bytes for block in self.blocks())
+
+    def instruction_count(self) -> int:
+        """Static instruction count of the region."""
+        return sum(block.num_instructions for block in self.blocks())
+
+
+class CodeRegion(Region):
+    """Straight-line code: a single fall-through basic block."""
+
+    def __init__(self, num_instructions: int, bytes_per_instruction: float = 4.0) -> None:
+        size = max(num_instructions, int(round(num_instructions * bytes_per_instruction)))
+        self.block = BasicBlock(
+            num_instructions=num_instructions,
+            size_bytes=size,
+            terminator=BranchKind.NONE,
+        )
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        yield self.block
+
+    def execute(self, ctx) -> None:
+        ctx.emit(self.block, taken=False)
+
+
+class Sequence(Region):
+    """A sequence of regions executed one after the other."""
+
+    def __init__(self, regions: Seq[Region]) -> None:
+        self.regions = list(regions)
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        for region in self.regions:
+            yield from region.blocks()
+
+    def execute(self, ctx) -> None:
+        for region in self.regions:
+            region.execute(ctx)
+            if ctx.exhausted:
+                return
+
+
+class Loop(Region):
+    """A natural loop: body followed by a conditional backward branch.
+
+    The latch block models the compare-and-branch at the bottom of the
+    loop; its taken target is the first block of the body, which the
+    layout pass places *before* the latch, making the taken branch a
+    backward branch exactly as in compiled loop code.
+    """
+
+    def __init__(
+        self,
+        body: Region,
+        trip_count: TripCountModel,
+        latch_instructions: int = 3,
+        bytes_per_instruction: float = 4.0,
+    ) -> None:
+        self.body = body
+        self.trip_count = trip_count
+        size = max(
+            latch_instructions,
+            int(round(latch_instructions * bytes_per_instruction)),
+        )
+        self.latch = BasicBlock(
+            num_instructions=latch_instructions,
+            size_bytes=size,
+            terminator=BranchKind.CONDITIONAL_DIRECT,
+        )
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        yield from self.body.blocks()
+        yield self.latch
+
+    def execute(self, ctx) -> None:
+        iterations = self.trip_count.draw(ctx.rng)
+        for index in range(iterations):
+            self.body.execute(ctx)
+            ctx.emit(self.latch, taken=index < iterations - 1)
+            if ctx.exhausted:
+                return
+
+
+class If(Region):
+    """A conditional region (``if``/``else``).
+
+    ``probability_then`` is the probability that the *then* region
+    executes.  The generated conditional branch is taken when the then
+    region is skipped, matching the usual compiler idiom of branching
+    forward over the body; a strongly biased source-level condition thus
+    produces a strongly biased (mostly not-taken or mostly taken)
+    dynamic branch.
+
+    When ``pattern`` is given (a sequence of booleans meaning "then
+    executes"), outcomes cycle through it deterministically instead of
+    being drawn independently.  Patterned conditionals model branches
+    whose outcome correlates with recent history (e.g. boundary checks
+    inside regular grids), which history-based predictors can learn but
+    a simple bimodal counter cannot.
+    """
+
+    def __init__(
+        self,
+        probability_then: float,
+        then: Region,
+        orelse: Optional[Region] = None,
+        condition_instructions: int = 2,
+        bytes_per_instruction: float = 4.0,
+        pattern: Optional[Seq[bool]] = None,
+    ) -> None:
+        if not 0.0 <= probability_then <= 1.0:
+            raise ValueError("probability_then must be within [0, 1]")
+        self.probability_then = probability_then
+        self.then = then
+        self.orelse = orelse
+        self.pattern = list(pattern) if pattern is not None else None
+        if self.pattern is not None and not self.pattern:
+            raise ValueError("pattern must contain at least one outcome")
+        size = max(
+            condition_instructions,
+            int(round(condition_instructions * bytes_per_instruction)),
+        )
+        self.condition = BasicBlock(
+            num_instructions=condition_instructions,
+            size_bytes=size,
+            terminator=BranchKind.CONDITIONAL_DIRECT,
+        )
+        self.skip_else: Optional[BasicBlock] = None
+        if orelse is not None:
+            self.skip_else = BasicBlock(
+                num_instructions=1,
+                size_bytes=max(1, int(round(bytes_per_instruction))),
+                terminator=BranchKind.UNCONDITIONAL_DIRECT,
+            )
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        yield self.condition
+        yield from self.then.blocks()
+        if self.skip_else is not None:
+            yield self.skip_else
+        if self.orelse is not None:
+            yield from self.orelse.blocks()
+
+    def execute(self, ctx) -> None:
+        if self.pattern is not None:
+            # Pattern progress lives in the execution context so repeated
+            # trace generations from the same program stay reproducible.
+            index = ctx.next_pattern_index(self, len(self.pattern))
+            take_then = self.pattern[index]
+        else:
+            take_then = ctx.rng.random() < self.probability_then
+        ctx.emit(self.condition, taken=not take_then)
+        if take_then:
+            self.then.execute(ctx)
+            if self.skip_else is not None:
+                ctx.emit(self.skip_else, taken=True)
+        elif self.orelse is not None:
+            self.orelse.execute(ctx)
+
+
+class CallRegion(Region):
+    """A direct call site to another function."""
+
+    def __init__(
+        self,
+        callee: "Function",
+        call_instructions: int = 2,
+        bytes_per_instruction: float = 4.0,
+    ) -> None:
+        self.callee = callee
+        size = max(
+            call_instructions,
+            int(round(call_instructions * bytes_per_instruction)),
+        )
+        self.call_block = BasicBlock(
+            num_instructions=call_instructions,
+            size_bytes=size,
+            terminator=BranchKind.CALL,
+        )
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        yield self.call_block
+
+    def execute(self, ctx) -> None:
+        ctx.emit(self.call_block, taken=True, target=self.callee.entry_address)
+        ctx.call(self.callee, return_to=self.call_block.fallthrough_address)
+
+
+class IndirectCallRegion(Region):
+    """An indirect call site that dispatches among several callees."""
+
+    def __init__(
+        self,
+        callees: Seq["Function"],
+        weights: Optional[Seq[float]] = None,
+        call_instructions: int = 2,
+        bytes_per_instruction: float = 4.0,
+    ) -> None:
+        if not callees:
+            raise ValueError("an indirect call needs at least one callee")
+        self.callees = list(callees)
+        self.weights = _normalise_weights(weights, len(self.callees))
+        size = max(
+            call_instructions,
+            int(round(call_instructions * bytes_per_instruction)),
+        )
+        self.call_block = BasicBlock(
+            num_instructions=call_instructions,
+            size_bytes=size,
+            terminator=BranchKind.INDIRECT_CALL,
+        )
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        yield self.call_block
+
+    def execute(self, ctx) -> None:
+        index = _weighted_choice(ctx.rng, self.weights)
+        callee = self.callees[index]
+        ctx.emit(self.call_block, taken=True, target=callee.entry_address)
+        ctx.call(callee, return_to=self.call_block.fallthrough_address)
+
+
+class IndirectJumpRegion(Region):
+    """Switch-style dispatch through an indirect jump."""
+
+    def __init__(
+        self,
+        cases: Seq[Region],
+        weights: Optional[Seq[float]] = None,
+        dispatch_instructions: int = 3,
+        bytes_per_instruction: float = 4.0,
+    ) -> None:
+        if not cases:
+            raise ValueError("an indirect jump needs at least one case")
+        self.cases = list(cases)
+        self.weights = _normalise_weights(weights, len(self.cases))
+        size = max(
+            dispatch_instructions,
+            int(round(dispatch_instructions * bytes_per_instruction)),
+        )
+        self.dispatch = BasicBlock(
+            num_instructions=dispatch_instructions,
+            size_bytes=size,
+            terminator=BranchKind.INDIRECT_BRANCH,
+        )
+        jump_bytes = max(1, int(round(bytes_per_instruction)))
+        self.case_exits = [
+            BasicBlock(
+                num_instructions=1,
+                size_bytes=jump_bytes,
+                terminator=BranchKind.UNCONDITIONAL_DIRECT,
+            )
+            for _ in self.cases
+        ]
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        yield self.dispatch
+        for case, exit_block in zip(self.cases, self.case_exits):
+            yield from case.blocks()
+            yield exit_block
+
+    def execute(self, ctx) -> None:
+        index = _weighted_choice(ctx.rng, self.weights)
+        case = self.cases[index]
+        case_entry = _first_block(case)
+        target = case_entry.address if case_entry is not None else None
+        ctx.emit(self.dispatch, taken=True, target=target)
+        case.execute(ctx)
+        ctx.emit(self.case_exits[index], taken=True)
+
+
+class JumpRegion(Region):
+    """An unconditional direct jump.
+
+    Models the jumps compilers emit at join points and block reorderings;
+    the jump target is the next sequential address, i.e. a short forward
+    jump, which is how such jumps overwhelmingly resolve in compiled
+    code.
+    """
+
+    def __init__(self, bytes_per_instruction: float = 4.0) -> None:
+        self.block = BasicBlock(
+            num_instructions=1,
+            size_bytes=max(1, int(round(bytes_per_instruction))),
+            terminator=BranchKind.UNCONDITIONAL_DIRECT,
+        )
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        yield self.block
+
+    def execute(self, ctx) -> None:
+        ctx.emit(self.block, taken=True)
+
+
+class SyscallRegion(Region):
+    """A system call (counted as a branch-class instruction by Pin)."""
+
+    def __init__(self, instructions: int = 2, bytes_per_instruction: float = 4.0) -> None:
+        size = max(instructions, int(round(instructions * bytes_per_instruction)))
+        self.block = BasicBlock(
+            num_instructions=instructions,
+            size_bytes=size,
+            terminator=BranchKind.SYSCALL,
+        )
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        yield self.block
+
+    def execute(self, ctx) -> None:
+        ctx.emit(self.block, taken=True)
+
+
+@dataclass
+class Function:
+    """A function: a named region plus its return instruction."""
+
+    name: str
+    body: Region
+    return_block: BasicBlock = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.return_block is None:
+            self.return_block = BasicBlock(
+                num_instructions=1,
+                size_bytes=4,
+                terminator=BranchKind.RETURN,
+            )
+
+    def blocks(self) -> Iterator[BasicBlock]:
+        """All blocks of the function, body first then the return."""
+        yield from self.body.blocks()
+        yield self.return_block
+
+    @property
+    def entry_address(self) -> int:
+        """Address of the first block (valid after layout)."""
+        first = _first_block(self.body)
+        if first is None:
+            return self.return_block.address
+        return first.address
+
+    def code_bytes(self) -> int:
+        """Static code size of the function."""
+        return sum(block.size_bytes for block in self.blocks())
+
+
+class Program:
+    """A complete synthetic program: functions plus a block registry."""
+
+    def __init__(self, name: str, functions: Seq[Function]) -> None:
+        if not functions:
+            raise ValueError("a program needs at least one function")
+        self.name = name
+        self.functions = list(functions)
+        self._blocks: List[BasicBlock] = []
+        self._register_blocks()
+
+    def _register_blocks(self) -> None:
+        next_id = 0
+        for function in self.functions:
+            for block in function.blocks():
+                if block.block_id >= 0:
+                    raise ValueError(
+                        f"block {block.block_id} is owned by more than one region"
+                    )
+                block.block_id = next_id
+                block.function_name = function.name
+                self._blocks.append(block)
+                next_id += 1
+
+    @property
+    def blocks(self) -> List[BasicBlock]:
+        """All static blocks of the program, in layout order."""
+        return self._blocks
+
+    def block(self, block_id: int) -> BasicBlock:
+        """Look up a block by its dense identifier."""
+        return self._blocks[block_id]
+
+    @property
+    def entry_function(self) -> Function:
+        """The function executed when the program starts."""
+        return self.functions[0]
+
+    def function_named(self, name: str) -> Function:
+        """Find a function by name."""
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(f"no function named {name!r} in program {self.name!r}")
+
+    def static_code_bytes(self) -> int:
+        """Static code footprint of the whole program in bytes."""
+        return sum(block.size_bytes for block in self._blocks)
+
+    def static_instruction_count(self) -> int:
+        """Static instruction count of the whole program."""
+        return sum(block.num_instructions for block in self._blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program({self.name!r}, functions={len(self.functions)}, "
+            f"blocks={len(self._blocks)}, bytes={self.static_code_bytes()})"
+        )
+
+
+def _first_block(region: Region) -> Optional[BasicBlock]:
+    """First block of a region in layout order, or None if empty."""
+    for block in region.blocks():
+        return block
+    return None
+
+
+def _normalise_weights(weights: Optional[Seq[float]], count: int) -> List[float]:
+    """Validate and normalise dispatch weights to sum to one."""
+    if weights is None:
+        return [1.0 / count] * count
+    if len(weights) != count:
+        raise ValueError("number of weights must match the number of targets")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return [w / total for w in weights]
+
+
+def _weighted_choice(rng, weights: Seq[float]) -> int:
+    """Draw an index according to normalised weights."""
+    draw = rng.random()
+    cumulative = 0.0
+    for index, weight in enumerate(weights):
+        cumulative += weight
+        if draw < cumulative:
+            return index
+    return len(weights) - 1

@@ -1,0 +1,95 @@
+"""CMP configurations evaluated in Section V.
+
+Four chip configurations are compared:
+
+* **Baseline CMP** -- eight baseline cores,
+* **Tailored CMP** -- eight tailored cores,
+* **Asymmetric CMP** -- one baseline core (running the master thread and
+  all sequential code) plus seven tailored cores,
+* **Asymmetric++ CMP** -- one baseline core plus eight tailored cores;
+  the extra core fits in the area freed by tailoring (same area budget
+  as the Baseline CMP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.uarch.core import BASELINE_CORE, TAILORED_CORE, CoreModel
+
+
+@dataclass(frozen=True)
+class CmpConfig:
+    """A chip multiprocessor built from baseline and tailored cores."""
+
+    name: str
+    baseline_cores: int
+    tailored_cores: int
+    l2_kb_per_core: int = 256
+
+    def __post_init__(self) -> None:
+        if self.baseline_cores < 0 or self.tailored_cores < 0:
+            raise ValueError("core counts cannot be negative")
+        if self.total_cores == 0:
+            raise ValueError("a CMP needs at least one core")
+
+    @property
+    def total_cores(self) -> int:
+        """Number of cores on the chip."""
+        return self.baseline_cores + self.tailored_cores
+
+    @property
+    def master_core(self) -> CoreModel:
+        """The core that runs the master thread and all serial code.
+
+        A baseline core is preferred when present (the asymmetric
+        designs pin the master thread there); otherwise the master runs
+        on a tailored core.
+        """
+        if self.baseline_cores > 0:
+            return BASELINE_CORE
+        return TAILORED_CORE
+
+    @property
+    def worker_cores(self) -> List[Tuple[CoreModel, int]]:
+        """Core flavours participating in parallel sections, with counts."""
+        flavours: List[Tuple[CoreModel, int]] = []
+        if self.baseline_cores > 0:
+            flavours.append((BASELINE_CORE, self.baseline_cores))
+        if self.tailored_cores > 0:
+            flavours.append((TAILORED_CORE, self.tailored_cores))
+        return flavours
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        parts = []
+        if self.baseline_cores:
+            parts.append(f"{self.baseline_cores}B")
+        if self.tailored_cores:
+            parts.append(f"{self.tailored_cores}T")
+        return f"{self.name} ({'+'.join(parts)} cores)"
+
+
+#: Eight baseline cores (today's design point).
+BASELINE_CMP = CmpConfig(name="Baseline CMP", baseline_cores=8, tailored_cores=0)
+
+#: Eight tailored cores (naive downsizing of every core).
+TAILORED_CMP = CmpConfig(name="Tailored CMP", baseline_cores=0, tailored_cores=8)
+
+#: One baseline core plus seven tailored cores (same core count).
+ASYMMETRIC_CMP = CmpConfig(name="Asymmetric CMP", baseline_cores=1, tailored_cores=7)
+
+#: One baseline core plus eight tailored cores (same area budget as the
+#: Baseline CMP thanks to the per-core area savings).
+ASYMMETRIC_PLUS_CMP = CmpConfig(
+    name="Asymmetric++ CMP", baseline_cores=1, tailored_cores=8
+)
+
+#: The four configurations of Figures 10 and 11, in presentation order.
+STANDARD_CMP_CONFIGS = (
+    BASELINE_CMP,
+    TAILORED_CMP,
+    ASYMMETRIC_CMP,
+    ASYMMETRIC_PLUS_CMP,
+)

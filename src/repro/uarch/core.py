@@ -1,0 +1,70 @@
+"""Lean core models (Cortex-A9 class).
+
+The baseline core carries the front-end found in today's lean-core
+CMPs; the tailored core applies the paper's downsizing recommendations.
+Everything behind the front-end (issue width, execution units, L1D, L2)
+is identical between the two, which is exactly the comparison the paper
+sets up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.configs import BASELINE_FRONTEND, TAILORED_FRONTEND, FrontEndConfig
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """Analytical model of one lean out-of-order core.
+
+    Attributes
+    ----------
+    name:
+        Short identifier (``"baseline"`` / ``"tailored"``).
+    frontend:
+        The front-end configuration (I-cache, branch predictor, BTB).
+    frequency_ghz:
+        Core clock frequency.
+    base_cpi:
+        Cycles per instruction with a perfect front-end and all data
+        accesses hitting in the L1 (captures the issue width and
+        pipeline of a dual-issue lean core).
+    branch_penalty_cycles:
+        Pipeline refill cost of one branch misprediction (the paper's
+        McPAT/Sniper setup uses 12 cycles).
+    btb_penalty_cycles:
+        Fetch bubble when a taken branch misses in the BTB.
+    icache_penalty_cycles:
+        Stall cycles for an I-cache miss served by the private L2.
+    memory_cpi:
+        Data-side stall contribution per instruction (identical across
+        core flavours because the data path is untouched).
+    """
+
+    name: str
+    frontend: FrontEndConfig
+    frequency_ghz: float = 2.0
+    base_cpi: float = 0.8
+    branch_penalty_cycles: float = 12.0
+    btb_penalty_cycles: float = 2.0
+    icache_penalty_cycles: float = 20.0
+    memory_cpi: float = 0.35
+
+    def cycles_per_second(self) -> float:
+        """Core clock in cycles per second."""
+        return self.frequency_ghz * 1e9
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        return (
+            f"{self.name} core @ {self.frequency_ghz:.1f} GHz, "
+            f"base CPI {self.base_cpi}, {self.frontend.describe()}"
+        )
+
+
+#: The baseline lean core (today's front-end sizing).
+BASELINE_CORE = CoreModel(name="baseline", frontend=BASELINE_FRONTEND)
+
+#: The HPC-tailored lean core proposed by the paper.
+TAILORED_CORE = CoreModel(name="tailored", frontend=TAILORED_FRONTEND)

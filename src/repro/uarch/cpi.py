@@ -1,0 +1,62 @@
+"""CPI stack model.
+
+The interval model approximates a core's cycles per instruction as a
+base component plus independent penalty terms proportional to the
+front-end event rates measured on the trace.  This is the level of
+abstraction at which the paper's performance argument operates: the
+tailored front-end is acceptable exactly when its extra misses per
+kilo-instruction translate into a negligible CPI increase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.simulation import FrontEndResult
+from repro.uarch.core import CoreModel
+
+
+@dataclass(frozen=True)
+class CpiStack:
+    """Per-instruction cycle breakdown of one code section on one core."""
+
+    base: float
+    memory: float
+    branch: float
+    btb: float
+    icache: float
+
+    @property
+    def total(self) -> float:
+        """Total cycles per instruction."""
+        return self.base + self.memory + self.branch + self.btb + self.icache
+
+    @property
+    def frontend(self) -> float:
+        """Cycles per instruction lost to front-end events."""
+        return self.branch + self.btb + self.icache
+
+    def as_dict(self) -> dict:
+        """Stack components keyed by name (for reports)."""
+        return {
+            "base": self.base,
+            "memory": self.memory,
+            "branch": self.branch,
+            "btb": self.btb,
+            "icache": self.icache,
+            "total": self.total,
+        }
+
+
+def cpi_for_section(core: CoreModel, frontend_result: FrontEndResult) -> CpiStack:
+    """Build the CPI stack of one code section running on one core."""
+    branch_cpi = frontend_result.branch.mpki / 1000.0 * core.branch_penalty_cycles
+    btb_cpi = frontend_result.btb.mpki / 1000.0 * core.btb_penalty_cycles
+    icache_cpi = frontend_result.icache.mpki / 1000.0 * core.icache_penalty_cycles
+    return CpiStack(
+        base=core.base_cpi,
+        memory=core.memory_cpi,
+        branch=branch_cpi,
+        btb=btb_cpi,
+        icache=icache_cpi,
+    )

@@ -1,0 +1,46 @@
+"""Benchmark suites evaluated in the paper."""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class Suite(enum.Enum):
+    """The four benchmark suites of the study.
+
+    ExMatEx, SPEC OMP 2012, and NPB are the HPC suites; SPEC CPU INT
+    2006 is the desktop comparison point.
+    """
+
+    EXMATEX = "ExMatEx"
+    SPEC_OMP = "SPEC OMP"
+    NPB = "NPB"
+    SPEC_CPU_INT = "SPEC CPU INT"
+
+    @property
+    def label(self) -> str:
+        """Display label used in figures and tables."""
+        return self.value
+
+    @property
+    def is_hpc(self) -> bool:
+        """Whether the suite contains parallel HPC applications."""
+        return self is not Suite.SPEC_CPU_INT
+
+    @property
+    def is_desktop(self) -> bool:
+        """Whether the suite is the desktop comparison suite."""
+        return self is Suite.SPEC_CPU_INT
+
+
+#: Order in which the paper presents the suites in every figure.
+SUITE_ORDER: Tuple[Suite, ...] = (
+    Suite.EXMATEX,
+    Suite.SPEC_OMP,
+    Suite.NPB,
+    Suite.SPEC_CPU_INT,
+)
+
+#: The three HPC suites (29 workloads in total).
+HPC_SUITES: Tuple[Suite, ...] = (Suite.EXMATEX, Suite.SPEC_OMP, Suite.NPB)

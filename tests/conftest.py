@@ -1,0 +1,90 @@
+"""Shared fixtures for the test suite.
+
+Traces are expensive to generate, so the fixtures that need real
+catalogued workloads are session-scoped and use short traces; unit
+tests that only need a tiny program build one by hand instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import (
+    CodeSection,
+    CodeRegion,
+    ExecutionSchedule,
+    FixedTripCount,
+    Function,
+    If,
+    Loop,
+    Phase,
+    Program,
+    Sequence,
+    TraceGenerator,
+    layout_program,
+)
+from repro.workloads import build_workload, get_workload
+
+#: Trace length used by fixtures that exercise catalogued workloads.
+SMALL_TRACE_INSTRUCTIONS = 60_000
+
+
+def build_tiny_program(loop_trips: int = 5, probability_then: float = 0.8) -> Program:
+    """A two-function program with one loop, one conditional, one call."""
+    callee = Function(name="leaf", body=CodeRegion(6))
+    body = Sequence([
+        CodeRegion(4),
+        If(probability_then, CodeRegion(3)),
+        CodeRegion(2),
+    ])
+    main_body = Sequence([
+        CodeRegion(5),
+        Loop(body, FixedTripCount(loop_trips)),
+        CodeRegion(3),
+    ])
+    main = Function(name="main", body=main_body)
+    program = Program("tiny", [main, callee])
+    return layout_program(program)
+
+
+def trace_of(program: Program, instructions: int = 2_000, seed: int = 7):
+    """Run a program's first function as a steady serial phase."""
+    schedule = ExecutionSchedule(
+        steady=[Phase(program.entry_function, CodeSection.SERIAL)]
+    )
+    return TraceGenerator(program, schedule, seed=seed).run(instructions)
+
+
+@pytest.fixture(scope="session")
+def tiny_program() -> Program:
+    """Small hand-built program with known structure."""
+    return build_tiny_program()
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_program):
+    """Trace of the tiny program (serial only)."""
+    return trace_of(tiny_program)
+
+
+@pytest.fixture(scope="session")
+def ft_trace():
+    """Short trace of the NPB FT workload (parallel HPC)."""
+    return build_workload(get_workload("FT")).trace(SMALL_TRACE_INSTRUCTIONS)
+
+
+@pytest.fixture(scope="session")
+def gobmk_trace():
+    """Trace of the SPEC CPU INT gobmk workload (desktop).
+
+    Desktop workloads need a somewhat longer window than the HPC ones
+    for their instruction working set to exceed the small cache sizes,
+    which is the behaviour several tests assert on.
+    """
+    return build_workload(get_workload("gobmk")).trace(150_000)
+
+
+@pytest.fixture(scope="session")
+def coevp_trace():
+    """Short trace of the ExMatEx CoEVP workload (large serial share)."""
+    return build_workload(get_workload("CoEVP")).trace(SMALL_TRACE_INSTRUCTIONS)

@@ -1,0 +1,190 @@
+"""Tests for the architecture-independent analysis tools (Section III)."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_basic_blocks,
+    analyze_branch_bias,
+    analyze_branch_mix,
+    analyze_footprint,
+    analyze_line_usefulness,
+    analyze_taken_directions,
+    characterize_workload,
+    suite_average,
+)
+from repro.analysis.branch_bias import BIAS_BUCKET_LABELS, _bucket_label
+from repro.analysis.characterization import average_by
+from repro.trace import CodeSection
+from repro.trace.instruction import FIGURE1_CATEGORIES
+
+
+class TestBranchMix:
+    def test_fractions_are_consistent(self, tiny_trace):
+        mix = analyze_branch_mix(tiny_trace)
+        assert mix.branch_count == sum(mix.category_counts.values())
+        assert mix.branch_fraction == pytest.approx(
+            mix.branch_count / mix.instruction_count
+        )
+        assert sum(mix.category_fractions.values()) == pytest.approx(
+            mix.branch_fraction
+        )
+
+    def test_all_categories_present(self, tiny_trace):
+        mix = analyze_branch_mix(tiny_trace)
+        assert set(mix.category_fractions) == set(FIGURE1_CATEGORIES)
+
+    def test_fraction_of_unknown_category_raises(self, tiny_trace):
+        with pytest.raises(ValueError):
+            analyze_branch_mix(tiny_trace).fraction_of("bogus")
+
+    def test_hpc_parallel_has_fewer_branches_than_desktop(self, ft_trace, gobmk_trace):
+        hpc = analyze_branch_mix(ft_trace, CodeSection.PARALLEL).branch_fraction
+        desktop = analyze_branch_mix(gobmk_trace).branch_fraction
+        assert hpc < desktop / 2.0  # Characteristic 1 (roughly 3x in the paper)
+
+    def test_serial_has_more_branches_than_parallel(self, coevp_trace):
+        serial = analyze_branch_mix(coevp_trace, CodeSection.SERIAL).branch_fraction
+        parallel = analyze_branch_mix(coevp_trace, CodeSection.PARALLEL).branch_fraction
+        assert serial > parallel
+
+    def test_empty_section_is_all_zero(self, gobmk_trace):
+        mix = analyze_branch_mix(gobmk_trace, CodeSection.PARALLEL)
+        assert mix.branch_count == 0
+        assert mix.branch_fraction == 0.0
+
+
+class TestBranchBias:
+    def test_bucket_label_boundaries(self):
+        assert _bucket_label(0.0) == "0-10%"
+        assert _bucket_label(9.99) == "0-10%"
+        assert _bucket_label(10.0) == "10-20%"
+        assert _bucket_label(95.0) == ">90%"
+        assert _bucket_label(100.0) == ">90%"
+
+    def test_bucket_fractions_sum_to_one(self, ft_trace):
+        bias = analyze_branch_bias(ft_trace)
+        assert sum(bias.bucket_fractions.values()) == pytest.approx(1.0)
+        assert set(bias.bucket_fractions) == set(BIAS_BUCKET_LABELS)
+
+    def test_unknown_bucket_raises(self, ft_trace):
+        with pytest.raises(ValueError):
+            analyze_branch_bias(ft_trace).fraction_in("55-65%")
+
+    def test_hpc_branches_are_more_biased_than_desktop(self, ft_trace, gobmk_trace):
+        hpc = analyze_branch_bias(ft_trace).strongly_biased_fraction
+        desktop = analyze_branch_bias(gobmk_trace).strongly_biased_fraction
+        assert hpc > desktop  # Characteristic 2
+
+    def test_taken_direction_fractions_sum_to_one(self, ft_trace):
+        split = analyze_taken_directions(ft_trace)
+        assert split.backward_fraction + split.forward_fraction == pytest.approx(1.0)
+        assert split.backward_count + split.forward_count == split.taken_count
+
+    def test_hpc_taken_branches_are_mostly_backward(self, ft_trace):
+        split = analyze_taken_directions(ft_trace, CodeSection.PARALLEL)
+        assert split.backward_fraction > 0.6  # Table I: ~69-80%
+
+    def test_desktop_taken_branches_are_more_balanced(self, gobmk_trace):
+        split = analyze_taken_directions(gobmk_trace)
+        assert 0.3 < split.backward_fraction < 0.7  # Table I: 56/44
+
+    def test_conditional_only_filter(self, ft_trace):
+        all_taken = analyze_taken_directions(ft_trace)
+        conditional = analyze_taken_directions(ft_trace, conditional_only=True)
+        assert conditional.taken_count <= all_taken.taken_count
+
+
+class TestFootprint:
+    def test_dynamic_footprint_not_larger_than_executed_static(self, ft_trace):
+        footprint = analyze_footprint(ft_trace)
+        assert footprint.dynamic_footprint_bytes <= footprint.executed_static_bytes
+        assert footprint.executed_static_bytes <= footprint.static_bytes
+
+    def test_coverage_validation(self, ft_trace):
+        with pytest.raises(ValueError):
+            analyze_footprint(ft_trace, coverage=0.0)
+
+    def test_full_coverage_equals_executed_static(self, ft_trace):
+        footprint = analyze_footprint(ft_trace, coverage=1.0)
+        assert footprint.dynamic_footprint_bytes == footprint.executed_static_bytes
+
+    def test_hpc_dynamic_footprint_is_small(self, ft_trace):
+        footprint = analyze_footprint(ft_trace, CodeSection.PARALLEL)
+        assert footprint.dynamic_footprint_kb < 16.0  # Characteristic 3
+
+    def test_desktop_dynamic_footprint_is_larger(self, ft_trace, gobmk_trace):
+        hpc = analyze_footprint(ft_trace, CodeSection.PARALLEL).dynamic_footprint_kb
+        desktop = analyze_footprint(gobmk_trace).dynamic_footprint_kb
+        assert desktop > 2 * hpc
+
+    def test_kb_helpers(self, ft_trace):
+        footprint = analyze_footprint(ft_trace)
+        assert footprint.static_kb == pytest.approx(footprint.static_bytes / 1024.0)
+
+
+class TestBasicBlocks:
+    def test_average_lengths_are_positive(self, ft_trace):
+        stats = analyze_basic_blocks(ft_trace)
+        assert stats.average_block_bytes > 0
+        assert stats.average_block_instructions > 0
+
+    def test_taken_distance_at_least_block_length(self, ft_trace):
+        stats = analyze_basic_blocks(ft_trace)
+        assert stats.average_taken_distance_bytes >= stats.average_block_bytes
+
+    def test_hpc_blocks_are_longer_than_desktop(self, ft_trace, gobmk_trace):
+        hpc = analyze_basic_blocks(ft_trace, CodeSection.PARALLEL)
+        desktop = analyze_basic_blocks(gobmk_trace)
+        assert hpc.average_block_bytes > 2 * desktop.average_block_bytes  # Char. 4
+
+    def test_taken_fraction_bounds(self, ft_trace):
+        stats = analyze_basic_blocks(ft_trace)
+        assert 0.0 < stats.taken_branch_fraction <= 1.0
+
+    def test_block_length_matches_branch_fraction(self, gobmk_trace):
+        stats = analyze_basic_blocks(gobmk_trace)
+        mix = analyze_branch_mix(gobmk_trace)
+        assert stats.average_block_instructions == pytest.approx(
+            1.0 / mix.branch_fraction, rel=0.05
+        )
+
+
+class TestLineUsefulness:
+    def test_usefulness_is_a_fraction(self, ft_trace):
+        usefulness = analyze_line_usefulness(ft_trace, 128)
+        assert 0.0 < usefulness.average_usefulness <= 1.0
+        assert usefulness.average_useful_bytes <= 128
+
+    def test_rejects_non_power_of_two_lines(self, ft_trace):
+        with pytest.raises(ValueError):
+            analyze_line_usefulness(ft_trace, 96)
+
+    def test_hpc_uses_wide_lines_better_than_desktop(self, ft_trace, gobmk_trace):
+        hpc = analyze_line_usefulness(ft_trace, 128).average_usefulness
+        desktop = analyze_line_usefulness(gobmk_trace, 128).average_usefulness
+        assert hpc >= desktop
+
+    def test_narrow_lines_are_at_least_as_useful(self, gobmk_trace):
+        wide = analyze_line_usefulness(gobmk_trace, 128).average_usefulness
+        narrow = analyze_line_usefulness(gobmk_trace, 32).average_usefulness
+        assert narrow >= wide
+
+
+class TestCharacterization:
+    def test_sections_present_for_parallel_workload(self, ft_trace):
+        result = characterize_workload(ft_trace)
+        assert CodeSection.TOTAL in result.branch_mix
+        assert CodeSection.SERIAL in result.branch_mix
+        assert CodeSection.PARALLEL in result.branch_mix
+        assert set(result.sections()) == set(result.footprint)
+
+    def test_total_only_when_sections_disabled(self, ft_trace):
+        result = characterize_workload(ft_trace, include_sections=False)
+        assert result.sections() == [CodeSection.TOTAL]
+
+    def test_suite_average(self):
+        assert suite_average([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert suite_average([]) == 0.0
+
+    def test_average_by(self):
+        assert average_by([1, 2, 3], key=lambda x: x * 2.0) == pytest.approx(4.0)

@@ -1,0 +1,154 @@
+"""Tests for the BTB, the I-cache, and the front-end configurations."""
+
+import pytest
+
+from repro.frontend import (
+    BASELINE_FRONTEND,
+    TAILORED_FRONTEND,
+    BranchTargetBuffer,
+    FrontEndConfig,
+    ICacheConfig,
+    InstructionCache,
+    simulate_btb,
+    simulate_frontend,
+    simulate_icache,
+)
+from repro.trace import CodeSection
+
+
+class TestBTB:
+    def test_first_access_misses_then_hits(self):
+        btb = BranchTargetBuffer(entries=64, associativity=4)
+        assert not btb.access(0x4000, 0x5000)
+        assert btb.access(0x4000, 0x5000)
+        assert btb.miss_rate == pytest.approx(0.5)
+
+    def test_target_change_counts_as_miss(self):
+        btb = BranchTargetBuffer(entries=64, associativity=4)
+        btb.access(0x4000, 0x5000)
+        assert not btb.access(0x4000, 0x6000)
+        assert btb.access(0x4000, 0x6000)
+
+    def test_lru_eviction_within_a_set(self):
+        btb = BranchTargetBuffer(entries=4, associativity=2)
+        # Addresses mapping to the same set (2 sets -> stride of 8 bytes).
+        a, b, c = 0x4000, 0x4008, 0x4010
+        btb.access(a, 1)
+        btb.access(b, 2)
+        btb.access(c, 3)   # evicts a
+        assert btb.lookup(a) is None
+        assert btb.lookup(b) == 2
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=100, associativity=4)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=64, associativity=3)
+
+    def test_storage_bits_scale_with_entries(self):
+        small = BranchTargetBuffer(entries=256).storage_bits()
+        big = BranchTargetBuffer(entries=2048).storage_bits()
+        assert big == 8 * small
+
+    def test_reset_statistics(self):
+        btb = BranchTargetBuffer(entries=64, associativity=4)
+        btb.access(0x4000, 1)
+        btb.reset_statistics()
+        assert btb.lookups == 0 and btb.misses == 0
+
+    def test_hpc_btb_mpki_is_insensitive_to_size(self, ft_trace):
+        small = simulate_btb(ft_trace, entries=256, associativity=8).mpki
+        large = simulate_btb(ft_trace, entries=1024, associativity=8).mpki
+        assert small - large < 0.5  # Implication 2
+
+    def test_desktop_benefits_from_a_bigger_btb(self, gobmk_trace):
+        small = simulate_btb(gobmk_trace, entries=256, associativity=8).mpki
+        large = simulate_btb(gobmk_trace, entries=1024, associativity=8).mpki
+        assert large < small * 0.95
+
+    def test_desktop_mpki_exceeds_hpc(self, ft_trace, gobmk_trace):
+        hpc = simulate_btb(ft_trace, entries=512, associativity=4).mpki
+        desktop = simulate_btb(gobmk_trace, entries=512, associativity=4).mpki
+        assert desktop > hpc
+
+
+class TestInstructionCache:
+    def test_repeated_fetch_hits(self):
+        cache = InstructionCache(size_bytes=1024, line_bytes=64, associativity=2)
+        assert cache.fetch_range(0x4000, 128) == 2
+        assert cache.fetch_range(0x4000, 128) == 0
+        assert cache.accesses == 4
+
+    def test_capacity_eviction(self):
+        cache = InstructionCache(size_bytes=256, line_bytes=64, associativity=2)
+        for start in range(0, 512, 64):
+            cache.fetch_range(0x4000 + start, 64)
+        # Working set is twice the capacity; re-fetching the start misses.
+        assert cache.fetch_range(0x4000, 64) == 1
+
+    def test_miss_rate_property(self):
+        cache = InstructionCache(size_bytes=1024, line_bytes=64, associativity=2)
+        assert cache.miss_rate == 0.0
+        cache.fetch_range(0x4000, 64)
+        assert cache.miss_rate == 1.0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            InstructionCache(size_bytes=1000, line_bytes=64, associativity=4)
+        with pytest.raises(ValueError):
+            InstructionCache(size_bytes=1024, line_bytes=48, associativity=4)
+
+    def test_zero_byte_fetch(self):
+        cache = InstructionCache(size_bytes=1024, line_bytes=64, associativity=2)
+        assert cache.fetch_range(0x4000, 0) == 0
+
+    def test_storage_bits_exceed_data_bits(self):
+        cache = InstructionCache(size_bytes=8192, line_bytes=64, associativity=4)
+        assert cache.storage_bits() > 8192 * 8
+
+    def test_hpc_fits_in_a_small_cache(self, ft_trace):
+        mpki = simulate_icache(ft_trace, size_bytes=16 * 1024, line_bytes=128,
+                               associativity=8).mpki
+        assert mpki < 1.0  # Implication 3
+
+    def test_desktop_needs_the_large_cache(self, gobmk_trace):
+        small = simulate_icache(gobmk_trace, size_bytes=16 * 1024).mpki
+        large = simulate_icache(gobmk_trace, size_bytes=32 * 1024).mpki
+        assert small > 1.5 * large  # Figure 8: ~2.5x in the paper
+
+    def test_wider_lines_help_hpc(self, ft_trace):
+        narrow = simulate_icache(ft_trace, size_bytes=16 * 1024, line_bytes=32,
+                                 associativity=8).mpki
+        wide = simulate_icache(ft_trace, size_bytes=16 * 1024, line_bytes=128,
+                               associativity=8).mpki
+        assert wide <= narrow  # Figure 9 shape for HPC
+
+
+class TestConfigs:
+    def test_baseline_matches_the_paper(self):
+        assert BASELINE_FRONTEND.icache.size_bytes == 32 * 1024
+        assert BASELINE_FRONTEND.icache.line_bytes == 64
+        assert BASELINE_FRONTEND.predictor.budget == "big"
+        assert BASELINE_FRONTEND.btb.entries == 2048
+
+    def test_tailored_matches_the_paper(self):
+        assert TAILORED_FRONTEND.icache.size_bytes == 16 * 1024
+        assert TAILORED_FRONTEND.icache.line_bytes == 128
+        assert TAILORED_FRONTEND.predictor.with_loop
+        assert TAILORED_FRONTEND.btb.entries == 256
+
+    def test_config_builders(self):
+        cache = ICacheConfig(size_bytes=8192, line_bytes=64, associativity=2).build()
+        assert isinstance(cache, InstructionCache)
+        assert "8KB" in ICacheConfig(size_bytes=8192).label
+
+    def test_describe_mentions_all_structures(self):
+        text = BASELINE_FRONTEND.describe()
+        assert "I-cache" in text and "BP" in text and "BTB" in text
+
+    def test_simulate_frontend_returns_all_components(self, ft_trace):
+        result = simulate_frontend(ft_trace, TAILORED_FRONTEND, CodeSection.PARALLEL)
+        assert result.config_name == "tailored"
+        assert result.branch.mpki >= 0.0
+        assert result.btb.mpki >= 0.0
+        assert result.icache.mpki >= 0.0

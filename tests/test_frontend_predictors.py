@@ -1,0 +1,240 @@
+"""Tests for the branch direction predictors (Section IV-A)."""
+
+import pytest
+
+from repro.frontend.predictors import (
+    BimodalPredictor,
+    GsharePredictor,
+    LoopPredictor,
+    PredictorWithLoop,
+    TagePredictor,
+    TournamentPredictor,
+    make_predictor,
+)
+from repro.frontend.predictors.base import SaturatingCounter, index_bits
+from repro.frontend.predictors.factory import predictor_configurations
+from repro.frontend.simulation import simulate_branch_predictor
+
+
+def train(predictor, address, outcomes):
+    """Feed a sequence of outcomes and return the prediction accuracy."""
+    correct = 0
+    for taken in outcomes:
+        if predictor.predict(address) == taken:
+            correct += 1
+        predictor.update(address, taken)
+    return correct / len(outcomes)
+
+
+class TestHelpers:
+    def test_saturating_counter_saturates(self):
+        value = 0
+        for _ in range(10):
+            value = SaturatingCounter.update(value, True)
+        assert value == 3
+        for _ in range(10):
+            value = SaturatingCounter.update(value, False)
+        assert value == 0
+
+    def test_saturating_counter_direction(self):
+        assert SaturatingCounter.taken(2)
+        assert not SaturatingCounter.taken(1)
+
+    def test_index_bits(self):
+        assert index_bits(1) == 0
+        assert index_bits(1024) == 10
+        with pytest.raises(ValueError):
+            index_bits(3)
+
+
+class TestBimodal:
+    def test_learns_a_biased_branch(self):
+        predictor = BimodalPredictor(entries=256)
+        accuracy = train(predictor, 0x4000, [True] * 100)
+        assert accuracy > 0.95
+
+    def test_learns_not_taken_branches(self):
+        predictor = BimodalPredictor(entries=256)
+        accuracy = train(predictor, 0x4000, [False] * 100)
+        assert accuracy > 0.9
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=100)
+
+    def test_storage(self):
+        assert BimodalPredictor(entries=4096).storage_bits() == 8192
+
+
+class TestGshare:
+    def test_learns_biased_branches(self):
+        predictor = GsharePredictor(history_bits=12)
+        accuracy = train(predictor, 0x4000, [True] * 200)
+        assert accuracy > 0.97
+
+    def test_learns_an_alternating_pattern(self):
+        predictor = GsharePredictor(history_bits=12)
+        pattern = [True, False] * 200
+        accuracy = train(predictor, 0x4000, pattern)
+        assert accuracy > 0.9
+
+    def test_table_ii_budgets(self):
+        assert make_predictor("gshare", "small").storage_kb() == pytest.approx(2.0, rel=0.01)
+        assert make_predictor("gshare", "big").storage_kb() == pytest.approx(16.0, rel=0.01)
+
+
+class TestTournament:
+    def test_learns_biased_branches(self):
+        predictor = TournamentPredictor()
+        accuracy = train(predictor, 0x4000, [True] * 200)
+        assert accuracy > 0.95
+
+    def test_local_history_catches_short_periodic_patterns(self):
+        predictor = TournamentPredictor(local_index_bits=10, history_bits=10)
+        pattern = ([True, True, False] * 120)
+        accuracy = train(predictor, 0x4000, pattern)
+        assert accuracy > 0.8
+
+    def test_table_ii_cost_formula(self):
+        small = TournamentPredictor(local_index_bits=10, history_bits=8)
+        expected = (1 << 10) * (8 + 2) + (1 << (8 + 2))
+        assert small.storage_bits() == expected
+
+
+class TestTage:
+    def test_learns_biased_branches(self):
+        predictor = TagePredictor(num_tables=4, entries_per_table=128, max_history=64)
+        accuracy = train(predictor, 0x4000, [True] * 300)
+        assert accuracy > 0.95
+
+    def test_learns_long_periodic_pattern_better_than_gshare_small(self):
+        pattern = ([True] * 7 + [False]) * 80
+        tage = make_predictor("tage", "big")
+        gshare = GsharePredictor(history_bits=6)
+        tage_accuracy = train(tage, 0x4000, list(pattern))
+        gshare_accuracy = train(gshare, 0x4000, list(pattern))
+        assert tage_accuracy >= gshare_accuracy
+
+    def test_update_without_predict_is_allowed(self):
+        predictor = TagePredictor(num_tables=2, entries_per_table=64, max_history=16)
+        predictor.update(0x4000, True)  # must not raise
+
+    def test_rejects_zero_tables(self):
+        with pytest.raises(ValueError):
+            TagePredictor(num_tables=0)
+
+    def test_small_budget_is_roughly_2kb(self):
+        assert make_predictor("tage", "small").storage_kb() == pytest.approx(2.0, rel=0.25)
+
+    def test_big_budget_is_far_larger_than_small(self):
+        small = make_predictor("tage", "small").storage_bits()
+        big = make_predictor("tage", "big").storage_bits()
+        assert big > 4 * small
+
+
+class TestLoopPredictor:
+    def _run_loop(self, predictor, address, trip, repetitions):
+        mispredictions = 0
+        for _ in range(repetitions):
+            for iteration in range(trip):
+                taken = iteration < trip - 1
+                if predictor.predict(address) != taken and predictor.is_confident(address):
+                    mispredictions += 1
+                predictor.update(address, taken)
+        return mispredictions
+
+    def test_learns_constant_trip_count(self):
+        predictor = LoopPredictor()
+        address = 0x4010
+        self._run_loop(predictor, address, trip=12, repetitions=10)
+        assert predictor.is_confident(address)
+        # Once confident, a full loop execution is predicted perfectly.
+        for iteration in range(12):
+            assert predictor.predict(address) == (iteration < 11)
+            predictor.update(address, iteration < 11)
+
+    def test_not_confident_for_varying_trip_counts(self):
+        predictor = LoopPredictor()
+        address = 0x4020
+        trips = [5, 7, 6, 8, 5, 9, 6, 7, 5, 8]
+        for trip in trips:
+            for iteration in range(trip):
+                predictor.update(address, iteration < trip - 1)
+        assert not predictor.is_confident(address)
+
+    def test_mostly_not_taken_branches_are_not_treated_as_loops(self):
+        predictor = LoopPredictor()
+        address = 0x4030
+        for _ in range(50):
+            predictor.update(address, False)
+        assert not predictor.is_confident(address)
+
+    def test_storage_is_about_half_a_kilobyte(self):
+        # The paper budgets the 64-entry LBP at roughly 512 bytes.
+        assert 300 <= LoopPredictor().storage_bytes() <= 600
+
+    def test_rejects_non_power_of_two_entries(self):
+        with pytest.raises(ValueError):
+            LoopPredictor(entries=60)
+
+
+class TestHybrid:
+    def test_loop_override_improves_fixed_loops(self):
+        base = GsharePredictor(history_bits=8)
+        hybrid = PredictorWithLoop(GsharePredictor(history_bits=8), LoopPredictor())
+        address = 0x4040
+        outcomes = []
+        for _ in range(60):
+            outcomes.extend([True] * 19 + [False])
+        base_accuracy = train(base, address, outcomes)
+        hybrid_accuracy = train(hybrid, address, outcomes)
+        assert hybrid_accuracy >= base_accuracy
+
+    def test_storage_adds_the_loop_predictor(self):
+        base = GsharePredictor(history_bits=13)
+        hybrid = PredictorWithLoop(GsharePredictor(history_bits=13), LoopPredictor())
+        assert hybrid.storage_bits() == base.storage_bits() + LoopPredictor().storage_bits()
+
+    def test_name_prefix(self):
+        hybrid = make_predictor("tage", "small", with_loop=True)
+        assert hybrid.name == "L-tage"
+
+
+class TestFactory:
+    def test_unknown_kind_and_budget(self):
+        with pytest.raises(ValueError):
+            make_predictor("perceptron")
+        with pytest.raises(ValueError):
+            make_predictor("gshare", "huge")
+
+    def test_nine_figure5_configurations(self):
+        configurations = predictor_configurations()
+        assert len(configurations) == 9
+        labels = [label for label, _, _, _ in configurations]
+        assert labels[:3] == ["gshare-big", "tournament-big", "tage-big"]
+        assert all(label.startswith("L-") for label in labels[6:])
+
+
+class TestSimulationOnTraces:
+    def test_mpki_is_consistent_with_misprediction_rate(self, ft_trace):
+        result = simulate_branch_predictor(ft_trace, make_predictor("gshare", "small"))
+        assert result.mpki == pytest.approx(
+            result.mispredictions * 1000.0 / result.instruction_count
+        )
+        breakdown = result.breakdown_mpki()
+        assert sum(breakdown.values()) == pytest.approx(result.mpki)
+
+    def test_hpc_mpki_is_much_lower_than_desktop(self, ft_trace, gobmk_trace):
+        predictor = make_predictor("tage", "small")
+        hpc = simulate_branch_predictor(ft_trace, predictor).mpki
+        desktop = simulate_branch_predictor(
+            gobmk_trace, make_predictor("tage", "small")
+        ).mpki
+        assert desktop > 3 * hpc  # Figure 5 shape
+
+    def test_loop_predictor_helps_hpc(self, ft_trace):
+        plain = simulate_branch_predictor(ft_trace, make_predictor("gshare", "small")).mpki
+        with_loop = simulate_branch_predictor(
+            ft_trace, make_predictor("gshare", "small", with_loop=True)
+        ).mpki
+        assert with_loop <= plain  # Implication 1

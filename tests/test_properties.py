@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.icache import InstructionCache
+from repro.frontend.predictors import (
+    BimodalPredictor,
+    GsharePredictor,
+    LoopPredictor,
+    TagePredictor,
+    TournamentPredictor,
+)
+from repro.frontend.predictors.base import SaturatingCounter
+from repro.workloads.synthesis import _Diffuser
+
+addresses = st.integers(min_value=0x400000, max_value=0x4FFFFF).map(lambda a: a & ~0x3)
+outcome_streams = st.lists(
+    st.tuples(addresses, st.booleans()), min_size=1, max_size=300
+)
+
+
+@given(st.integers(min_value=0, max_value=3), st.booleans())
+def test_saturating_counter_stays_in_range(value, taken):
+    updated = SaturatingCounter.update(value, taken)
+    assert 0 <= updated <= 3
+    assert abs(updated - value) <= 1
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=200))
+def test_diffuser_total_tracks_expectations(expectations):
+    diffuser = _Diffuser(0.0)
+    realised = sum(diffuser.take(e) for e in expectations)
+    assert abs(realised - sum(expectations)) < 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(outcome_streams)
+def test_predictors_accept_any_outcome_stream(stream):
+    predictors = [
+        BimodalPredictor(entries=256),
+        GsharePredictor(history_bits=10),
+        TournamentPredictor(local_index_bits=8, history_bits=8),
+        TagePredictor(num_tables=2, entries_per_table=64, max_history=16),
+        LoopPredictor(),
+    ]
+    for predictor in predictors:
+        for address, taken in stream:
+            prediction = predictor.predict(address)
+            assert isinstance(prediction, bool)
+            predictor.update(address, taken)
+        assert predictor.storage_bits() > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(outcome_streams)
+def test_perfectly_biased_streams_are_eventually_predicted(stream):
+    predictor = BimodalPredictor(entries=4096)
+    mispredictions = 0
+    for address, _ in stream:
+        if not predictor.predict(address):
+            mispredictions += 1
+        predictor.update(address, True)
+    # At most a couple of cold mispredictions per distinct address.
+    distinct = len({address for address, _ in stream})
+    assert mispredictions <= 2 * distinct
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(addresses, min_size=1, max_size=200),
+    st.sampled_from([64, 128, 256]),
+    st.sampled_from([2, 4]),
+)
+def test_btb_miss_count_never_exceeds_lookups(branches, entries, associativity):
+    btb = BranchTargetBuffer(entries=entries, associativity=associativity)
+    for address in branches:
+        btb.access(address, address + 64)
+    assert 0 <= btb.misses <= btb.lookups == len(branches)
+    assert 0.0 <= btb.miss_rate <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(addresses, min_size=1, max_size=200))
+def test_btb_is_deterministic(branches):
+    first = BranchTargetBuffer(entries=128, associativity=4)
+    second = BranchTargetBuffer(entries=128, associativity=4)
+    hits_first = [first.access(a, a + 8) for a in branches]
+    hits_second = [second.access(a, a + 8) for a in branches]
+    assert hits_first == hits_second
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(addresses, st.integers(min_value=1, max_value=256)),
+             min_size=1, max_size=150),
+    st.sampled_from([32, 64, 128]),
+)
+def test_icache_misses_bounded_by_accesses(fetches, line_bytes):
+    cache = InstructionCache(size_bytes=8 * 1024, line_bytes=line_bytes, associativity=4)
+    for address, size in fetches:
+        cache.fetch_range(address, size)
+    assert 0 <= cache.misses <= cache.accesses
+    assert 0.0 <= cache.miss_rate <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(addresses, st.integers(min_value=1, max_value=256)),
+                min_size=1, max_size=100))
+def test_larger_icache_never_misses_more(fetches):
+    small = InstructionCache(size_bytes=4 * 1024, line_bytes=64, associativity=4)
+    large = InstructionCache(size_bytes=32 * 1024, line_bytes=64, associativity=8)
+    small_misses = sum(small.fetch_range(a, s) for a, s in fetches)
+    large_misses = sum(large.fetch_range(a, s) for a, s in fetches)
+    assert large_misses <= small_misses
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=60), st.integers(min_value=2, max_value=12))
+def test_loop_predictor_learns_any_constant_trip_count(trip, repetitions):
+    predictor = LoopPredictor()
+    address = 0x400100
+    for _ in range(repetitions):
+        for iteration in range(trip):
+            predictor.update(address, iteration < trip - 1)
+    if repetitions >= predictor.CONFIDENCE_THRESHOLD + 1:
+        assert predictor.is_confident(address)
+        assert predictor.predict(address) is True

@@ -1,0 +1,76 @@
+"""Tests for the instruction-level vocabulary."""
+
+import pytest
+
+from repro.trace.instruction import (
+    DEFAULT_INSTRUCTION_BYTES,
+    FIGURE1_CATEGORIES,
+    TEXT_BASE_ADDRESS,
+    BranchKind,
+    CodeSection,
+)
+
+
+class TestBranchKind:
+    def test_none_is_not_a_branch(self):
+        assert not BranchKind.NONE.is_branch
+
+    @pytest.mark.parametrize(
+        "kind",
+        [k for k in BranchKind if k is not BranchKind.NONE],
+    )
+    def test_every_other_kind_is_a_branch(self, kind):
+        assert kind.is_branch
+
+    def test_only_conditional_direct_is_conditional(self):
+        conditional = [k for k in BranchKind if k.is_conditional]
+        assert conditional == [BranchKind.CONDITIONAL_DIRECT]
+
+    def test_indirect_kinds(self):
+        assert BranchKind.INDIRECT_CALL.is_indirect
+        assert BranchKind.INDIRECT_BRANCH.is_indirect
+        assert not BranchKind.CALL.is_indirect
+        assert not BranchKind.RETURN.is_indirect
+
+    def test_call_kinds(self):
+        assert BranchKind.CALL.is_call
+        assert BranchKind.INDIRECT_CALL.is_call
+        assert not BranchKind.RETURN.is_call
+
+    def test_figure1_category_of_direct_branches(self):
+        assert BranchKind.CONDITIONAL_DIRECT.figure1_category == "direct branch"
+        assert BranchKind.UNCONDITIONAL_DIRECT.figure1_category == "direct branch"
+
+    def test_figure1_category_of_calls_and_returns(self):
+        assert BranchKind.CALL.figure1_category == "call"
+        assert BranchKind.INDIRECT_CALL.figure1_category == "indirect call"
+        assert BranchKind.RETURN.figure1_category == "return"
+        assert BranchKind.SYSCALL.figure1_category == "syscall"
+
+    def test_figure1_category_rejects_fallthrough(self):
+        with pytest.raises(ValueError):
+            BranchKind.NONE.figure1_category
+
+    def test_all_categories_are_reachable(self):
+        reachable = {
+            kind.figure1_category for kind in BranchKind if kind.is_branch
+        }
+        assert reachable == set(FIGURE1_CATEGORIES)
+
+
+class TestCodeSection:
+    def test_labels(self):
+        assert CodeSection.SERIAL.label == "serial"
+        assert CodeSection.PARALLEL.label == "parallel"
+        assert CodeSection.TOTAL.label == "total"
+
+    def test_sections_are_distinct(self):
+        assert len({CodeSection.SERIAL, CodeSection.PARALLEL, CodeSection.TOTAL}) == 3
+
+
+class TestConstants:
+    def test_text_base_address_is_page_aligned(self):
+        assert TEXT_BASE_ADDRESS % 4096 == 0
+
+    def test_default_instruction_size_is_plausible_x86(self):
+        assert 2.0 <= DEFAULT_INSTRUCTION_BYTES <= 6.0

@@ -1,0 +1,184 @@
+"""Tests for code layout, the Trace container, and the executor."""
+
+import pytest
+
+from repro.trace import (
+    BranchKind,
+    CodeRegion,
+    CodeSection,
+    ExecutionSchedule,
+    FixedTripCount,
+    Function,
+    If,
+    Loop,
+    Phase,
+    Program,
+    Sequence,
+    TraceGenerator,
+    generate_trace,
+    layout_program,
+)
+from repro.trace.instruction import TEXT_BASE_ADDRESS
+
+from conftest import build_tiny_program, trace_of
+
+
+class TestLayout:
+    def test_first_block_starts_at_text_base(self, tiny_program):
+        assert tiny_program.blocks[0].address >= TEXT_BASE_ADDRESS
+
+    def test_blocks_within_a_function_are_contiguous(self, tiny_program):
+        for function in tiny_program.functions:
+            blocks = list(function.blocks())
+            for previous, current in zip(blocks, blocks[1:]):
+                assert current.address == previous.end_address
+
+    def test_functions_do_not_overlap(self, tiny_program):
+        spans = []
+        for function in tiny_program.functions:
+            blocks = list(function.blocks())
+            spans.append((blocks[0].address, blocks[-1].end_address))
+        spans.sort()
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert start_b >= end_a
+
+    def test_function_alignment(self):
+        program = build_tiny_program()
+        for function in program.functions:
+            first = next(function.blocks())
+            assert first.address % 16 == 0
+
+    def test_loop_backedge_is_backward(self):
+        body = CodeRegion(4)
+        loop = Loop(body, FixedTripCount(3))
+        program = Program("p", [Function("f", loop)])
+        layout_program(program)
+        assert loop.latch.taken_target == body.block.address
+        assert loop.latch.taken_target < loop.latch.address
+
+    def test_if_branch_is_forward(self):
+        then = CodeRegion(4)
+        conditional = If(0.5, then)
+        program = Program("p", [Function("f", conditional)])
+        layout_program(program)
+        assert conditional.condition.taken_target == then.block.end_address
+        assert conditional.condition.taken_target > conditional.condition.address
+
+    def test_if_else_targets(self):
+        then, orelse = CodeRegion(4), CodeRegion(5)
+        conditional = If(0.5, then, orelse=orelse)
+        program = Program("p", [Function("f", conditional)])
+        layout_program(program)
+        assert conditional.condition.taken_target == orelse.block.address
+        assert conditional.skip_else.taken_target == orelse.block.end_address
+
+    def test_call_targets_callee_entry(self):
+        callee = Function("leaf", CodeRegion(3))
+        from repro.trace import CallRegion
+
+        call = CallRegion(callee)
+        program = Program("p", [Function("main", call), callee])
+        layout_program(program)
+        assert call.call_block.taken_target == callee.entry_address
+
+
+class TestTrace:
+    def test_instruction_count_matches_blocks(self, tiny_trace):
+        blocks = tiny_trace.program.blocks
+        expected = sum(blocks[e.block_id].num_instructions for e in tiny_trace.events)
+        assert tiny_trace.instruction_count() == expected
+
+    def test_sections_partition_total(self, ft_trace):
+        serial = ft_trace.instruction_count(CodeSection.SERIAL)
+        parallel = ft_trace.instruction_count(CodeSection.PARALLEL)
+        assert serial + parallel == ft_trace.instruction_count(CodeSection.TOTAL)
+        assert ft_trace.section_fraction(CodeSection.SERIAL) == pytest.approx(
+            serial / (serial + parallel)
+        )
+
+    def test_branch_records_only_contain_branches(self, tiny_trace):
+        for record in tiny_trace.branch_records():
+            assert record.kind.is_branch
+
+    def test_branch_records_are_cached(self, tiny_trace):
+        assert tiny_trace.branch_records() is tiny_trace.branch_records()
+
+    def test_conditional_branches_subset(self, tiny_trace):
+        conditional = tiny_trace.conditional_branches()
+        assert all(r.kind is BranchKind.CONDITIONAL_DIRECT for r in conditional)
+        assert len(conditional) <= tiny_trace.branch_count()
+
+    def test_backward_forward_classification(self, tiny_trace):
+        for record in tiny_trace.branch_records():
+            if record.target is None:
+                continue
+            assert record.is_backward == (record.target < record.address)
+            assert record.is_backward != record.is_forward
+
+    def test_block_execution_counts_sum_to_events(self, tiny_trace):
+        counts = tiny_trace.block_execution_counts()
+        assert sum(counts.values()) == len(tiny_trace.events)
+
+    def test_mpki_helper(self, tiny_trace):
+        instructions = tiny_trace.instruction_count()
+        assert tiny_trace.mpki(instructions) == pytest.approx(1000.0)
+        assert tiny_trace.mpki(0) == 0.0
+
+
+class TestExecution:
+    def test_budget_is_respected_with_small_overshoot(self, tiny_program):
+        trace = trace_of(tiny_program, instructions=1_000)
+        assert 1_000 <= trace.instruction_count() <= 1_200
+
+    def test_generation_is_deterministic(self, tiny_program):
+        first = trace_of(tiny_program, instructions=1_500, seed=11)
+        second = trace_of(tiny_program, instructions=1_500, seed=11)
+        assert first.events == second.events
+
+    def test_different_seeds_differ(self):
+        program = build_tiny_program(probability_then=0.5)
+        first = trace_of(program, instructions=1_500, seed=1)
+        second = trace_of(program, instructions=1_500, seed=2)
+        assert first.events != second.events
+
+    def test_phase_sections_are_tagged(self, tiny_program):
+        serial = Phase(tiny_program.entry_function, CodeSection.SERIAL)
+        parallel = Phase(tiny_program.function_named("leaf"), CodeSection.PARALLEL)
+        schedule = ExecutionSchedule(steady=[serial, parallel])
+        trace = TraceGenerator(tiny_program, schedule, seed=0).run(2_000)
+        assert trace.instruction_count(CodeSection.SERIAL) > 0
+        assert trace.instruction_count(CodeSection.PARALLEL) > 0
+
+    def test_phase_rejects_total_section(self, tiny_program):
+        with pytest.raises(ValueError):
+            Phase(tiny_program.entry_function, CodeSection.TOTAL)
+
+    def test_phase_rejects_zero_repeat(self, tiny_program):
+        with pytest.raises(ValueError):
+            Phase(tiny_program.entry_function, CodeSection.SERIAL, repeat=0)
+
+    def test_schedule_requires_phases(self):
+        with pytest.raises(ValueError):
+            ExecutionSchedule()
+
+    def test_generate_trace_requires_positive_budget(self, tiny_program):
+        schedule = ExecutionSchedule(
+            steady=[Phase(tiny_program.entry_function, CodeSection.SERIAL)]
+        )
+        with pytest.raises(ValueError):
+            generate_trace(tiny_program, schedule, max_instructions=0)
+
+    def test_setup_phase_runs_once(self, tiny_program):
+        setup = Phase(tiny_program.function_named("leaf"), CodeSection.SERIAL)
+        steady = Phase(tiny_program.entry_function, CodeSection.PARALLEL)
+        schedule = ExecutionSchedule(setup=[setup], steady=[steady])
+        trace = TraceGenerator(tiny_program, schedule, seed=0).run(3_000)
+        leaf_blocks = {
+            b.block_id for b in tiny_program.function_named("leaf").blocks()
+        }
+        serial_events = [
+            e for e in trace.events
+            if e.section is CodeSection.SERIAL and e.block_id in leaf_blocks
+        ]
+        # leaf has two blocks (body + return), executed exactly once as setup.
+        assert len(serial_events) == 2

@@ -1,0 +1,166 @@
+"""Tests for workload specifications, the catalog, and suite helpers."""
+
+import pytest
+
+from repro.workloads import (
+    WORKLOADS,
+    SectionProfile,
+    Suite,
+    WorkloadSpec,
+    desktop_workloads,
+    get_workload,
+    hpc_workloads,
+    workload_names,
+    workloads_in_suite,
+)
+from repro.workloads.suites import HPC_SUITES, SUITE_ORDER
+
+
+def _profile(**overrides) -> SectionProfile:
+    return SectionProfile(branch_fraction=0.1).scaled(**overrides)
+
+
+class TestSectionProfile:
+    def test_branch_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            SectionProfile(branch_fraction=0.0)
+        with pytest.raises(ValueError):
+            SectionProfile(branch_fraction=1.0)
+
+    def test_conditional_fraction_accounts_for_returns(self):
+        profile = _profile(call_fraction=0.1, indirect_call_fraction=0.02)
+        assert profile.return_fraction == pytest.approx(0.12)
+        assert profile.conditional_fraction < 1.0 - 2 * 0.12 + 1e-9
+
+    def test_rejects_branch_mix_without_conditionals(self):
+        with pytest.raises(ValueError):
+            SectionProfile(branch_fraction=0.1, call_fraction=0.45, unconditional_fraction=0.2)
+
+    def test_rejects_bad_loop_share(self):
+        with pytest.raises(ValueError):
+            _profile(loop_share=0.0)
+
+    def test_rejects_bad_trip_count(self):
+        with pytest.raises(ValueError):
+            _profile(avg_trip_count=0.5)
+
+    def test_rejects_bias_shares_exceeding_one(self):
+        with pytest.raises(ValueError):
+            _profile(balanced_if_share=0.7, moderate_if_share=0.5)
+
+    def test_rejects_non_positive_hot_code(self):
+        with pytest.raises(ValueError):
+            _profile(hot_code_kb=0.0)
+
+    def test_strong_if_share_is_complement(self):
+        profile = _profile(balanced_if_share=0.2, moderate_if_share=0.3)
+        assert profile.strong_if_share == pytest.approx(0.5)
+
+    def test_mean_block_sizes(self):
+        profile = _profile(branch_fraction=0.1, bytes_per_instruction=4.0)
+        assert profile.mean_block_instructions == pytest.approx(10.0)
+        assert profile.mean_block_bytes == pytest.approx(40.0)
+
+    def test_scaled_returns_modified_copy(self):
+        profile = _profile()
+        other = profile.scaled(branch_fraction=0.2)
+        assert other.branch_fraction == 0.2
+        assert profile.branch_fraction == 0.1
+
+
+class TestWorkloadSpec:
+    def _spec(self, **overrides) -> WorkloadSpec:
+        values = dict(
+            name="toy",
+            suite=Suite.NPB,
+            parallel=_profile(hot_code_kb=4.0),
+            serial=_profile(hot_code_kb=4.0),
+            serial_fraction=0.01,
+            static_code_kb=64.0,
+            threads=8,
+        )
+        values.update(overrides)
+        return WorkloadSpec(**values)
+
+    def test_serial_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            self._spec(serial_fraction=1.5)
+
+    def test_static_code_must_cover_hot_code(self):
+        with pytest.raises(ValueError):
+            self._spec(static_code_kb=4.0)
+
+    def test_threads_must_be_positive(self):
+        with pytest.raises(ValueError):
+            self._spec(threads=0)
+
+    def test_sequential_detection(self):
+        assert self._spec(serial_fraction=1.0).is_sequential
+        assert self._spec(threads=1).is_sequential
+        assert not self._spec().is_sequential
+
+    def test_cold_code_complements_hot_code(self):
+        spec = self._spec()
+        assert spec.cold_code_kb == pytest.approx(64.0 - 8.0)
+
+    def test_seed_is_deterministic_and_name_dependent(self):
+        assert self._spec().seed == self._spec().seed
+        assert self._spec().seed != self._spec(name="other").seed
+
+    def test_parallel_fraction(self):
+        assert self._spec(serial_fraction=0.25).parallel_fraction == pytest.approx(0.75)
+
+
+class TestCatalog:
+    def test_total_workload_count(self):
+        assert len(WORKLOADS) == 41
+
+    def test_suite_sizes_match_the_paper(self):
+        assert len(workloads_in_suite(Suite.EXMATEX)) == 8
+        assert len(workloads_in_suite(Suite.SPEC_OMP)) == 11
+        assert len(workloads_in_suite(Suite.NPB)) == 10
+        assert len(workloads_in_suite(Suite.SPEC_CPU_INT)) == 12
+
+    def test_hpc_and_desktop_partitions(self):
+        assert len(hpc_workloads()) == 29
+        assert len(desktop_workloads()) == 12
+        assert len(hpc_workloads()) + len(desktop_workloads()) == len(WORKLOADS)
+
+    def test_workload_names_are_unique(self):
+        names = workload_names()
+        assert len(names) == len(set(names))
+
+    def test_get_workload_known_and_unknown(self):
+        assert get_workload("LULESH").suite is Suite.EXMATEX
+        with pytest.raises(KeyError):
+            get_workload("does-not-exist")
+
+    def test_desktop_workloads_are_sequential(self):
+        for spec in desktop_workloads():
+            assert spec.is_sequential
+            assert spec.threads == 1
+
+    def test_hpc_workloads_run_eight_threads(self):
+        for spec in hpc_workloads():
+            assert spec.threads == 8
+            assert spec.serial_fraction < 0.5
+
+    def test_paper_callouts(self):
+        assert get_workload("CoEVP").serial_fraction == pytest.approx(0.35)
+        assert get_workload("VPFFT").static_code_kb == pytest.approx(800.0)
+        assert get_workload("UA").static_code_kb == pytest.approx(252.0)
+        assert get_workload("CoEVP").parallel.indirect_branch_fraction > 0.005
+
+    def test_hpc_branch_fractions_are_below_desktop(self):
+        hpc_average = sum(s.parallel.branch_fraction for s in hpc_workloads()) / 29
+        desktop_average = sum(s.serial.branch_fraction for s in desktop_workloads()) / 12
+        assert hpc_average < desktop_average / 1.5
+
+    def test_suite_order_covers_all_suites(self):
+        assert set(SUITE_ORDER) == set(Suite)
+        assert all(suite.is_hpc for suite in HPC_SUITES)
+
+    def test_suite_labels(self):
+        assert Suite.SPEC_CPU_INT.is_desktop
+        assert not Suite.SPEC_CPU_INT.is_hpc
+        assert Suite.EXMATEX.label == "ExMatEx"
