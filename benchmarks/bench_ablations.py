@@ -19,7 +19,7 @@ from repro.frontend.simulation import simulate_branch_predictor, simulate_icache
 from repro.uarch import ASYMMETRIC_PLUS_CMP, BASELINE_CMP, profile_workload_frontend, run_on_cmp
 from repro.workloads import build_workload, get_workload
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 HPC_SAMPLE = ("FT", "botsspar", "imagick", "CoMD")
 DESKTOP_SAMPLE = ("gobmk", "astar")

@@ -1,0 +1,30 @@
+"""Shared helpers of the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the same rows the paper reports.  The trace length per workload is
+controlled by the ``REPRO_BENCH_INSTRUCTIONS`` environment variable
+(default 60000) so the full sweep finishes in minutes; raise it for
+higher-fidelity numbers.
+
+Kept out of ``conftest.py`` so importing the helpers never races the
+test suite's own ``conftest`` for the ``sys.modules`` slot.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Dynamic trace length per workload used by the benchmarks.
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "60000"))
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(title: str, text: str) -> None:
+    """Print a regenerated table/figure below the benchmark timings."""
+    print()
+    print(f"===== {title} =====")
+    print(text)

@@ -2,7 +2,7 @@
 
 from repro.experiments import run_fig01, format_fig01
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 
 def test_fig01_branch_mix(benchmark):

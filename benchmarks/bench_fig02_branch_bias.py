@@ -2,7 +2,7 @@
 
 from repro.experiments import run_fig02, format_fig02
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 
 def test_fig02_branch_bias(benchmark):

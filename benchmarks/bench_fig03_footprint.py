@@ -2,7 +2,7 @@
 
 from repro.experiments import run_fig03, format_fig03
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 
 def test_fig03_footprint(benchmark):

@@ -2,7 +2,7 @@
 
 from repro.experiments import run_fig04, format_fig04
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 
 def test_fig04_basic_blocks(benchmark):

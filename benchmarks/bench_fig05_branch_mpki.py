@@ -2,7 +2,7 @@
 
 from repro.experiments import run_fig05, format_fig05
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 
 def test_fig05_branch_mpki(benchmark):

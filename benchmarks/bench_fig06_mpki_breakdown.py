@@ -2,7 +2,7 @@
 
 from repro.experiments import run_fig06, format_fig06
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 
 def test_fig06_mpki_breakdown(benchmark):

@@ -2,7 +2,7 @@
 
 from repro.experiments import run_fig07, format_fig07
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 
 def test_fig07_btb(benchmark):

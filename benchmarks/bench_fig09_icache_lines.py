@@ -2,7 +2,7 @@
 
 from repro.experiments import run_fig09, format_fig09
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 
 def test_fig09_icache_lines(benchmark):

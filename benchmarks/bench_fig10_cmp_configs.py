@@ -2,7 +2,7 @@
 
 from repro.experiments import run_fig10, format_fig10
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 
 def test_fig10_cmp_configs(benchmark):

@@ -2,7 +2,7 @@
 
 from repro.experiments import run_fig11, format_fig11
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 
 def test_fig11_per_benchmark_time(benchmark):

@@ -1,0 +1,87 @@
+"""Microbenchmarks of the trace-engine and simulator hot paths.
+
+Times the three front-end hot paths -- trace generation, branch-record
+materialization, and the full ``simulate_frontend`` walk -- at two
+trace lengths, so speedups (and regressions) of the columnar engine
+show up directly in the pytest-benchmark table:
+
+    pytest benchmarks/bench_hotpath.py
+
+Unlike the figure benchmarks these do not honour
+``REPRO_BENCH_INSTRUCTIONS``; the two fixed sizes keep numbers
+comparable across commits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.configs import BASELINE_FRONTEND
+from repro.frontend.simulation import simulate_frontend
+from repro.trace.events import Trace
+from repro.trace.execution import TraceGenerator
+from repro.workloads import build_workload, get_workload
+
+TRACE_LENGTHS = (60_000, 600_000)
+
+#: One HPC and one desktop workload: long loopy blocks vs branchy code.
+WORKLOAD = "FT"
+
+
+def _workload():
+    return build_workload(get_workload(WORKLOAD))
+
+
+@pytest.mark.parametrize("instructions", TRACE_LENGTHS)
+def test_trace_generation(benchmark, instructions):
+    """Generate the dynamic trace (region-tree execution + columns)."""
+    workload = _workload()
+    # Drive the generator directly: workload.trace() would retain every
+    # round's trace in the workload-level cache for the whole process.
+    seeds = iter(range(1_000, 100_000))
+
+    def generate():
+        generator = TraceGenerator(
+            workload.program, workload.schedule, seed=next(seeds)
+        )
+        return generator.run(instructions)
+
+    trace = benchmark(generate)
+    assert trace.instruction_count() >= instructions
+
+
+@pytest.mark.parametrize("instructions", TRACE_LENGTHS)
+def test_branch_records(benchmark, instructions):
+    """Materialize branch records from a fresh columnar view."""
+    workload = _workload()
+    source = workload.trace(instructions)
+
+    def records():
+        # Rebuild the Trace wrapper so per-trace caches start cold.
+        trace = Trace.from_columns(
+            source.program,
+            source.block_ids,
+            source.taken_column,
+            source.target_column,
+            source.section_column,
+            name=source.name,
+        )
+        return trace.branch_records()
+
+    result = benchmark(records)
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("instructions", TRACE_LENGTHS)
+def test_simulate_frontend(benchmark, instructions):
+    """Branch predictor + BTB + I-cache over one trace."""
+    workload = _workload()
+    trace = workload.trace(instructions)
+    trace.branch_columns()  # steady-state: columns already gathered
+
+    def frontend():
+        return simulate_frontend(trace, BASELINE_FRONTEND)
+
+    result = benchmark(frontend)
+    assert result.branch.conditional_branches > 0
+    assert result.icache.accesses > 0

@@ -2,7 +2,7 @@
 
 from repro.experiments import run_table1, format_table1
 
-from conftest import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
 
 def test_table1_taken_direction(benchmark):

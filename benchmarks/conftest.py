@@ -1,27 +1,12 @@
-"""Shared configuration of the benchmark harness.
+"""Benchmark harness configuration.
 
-Each benchmark regenerates one table or figure of the paper and prints
-the same rows the paper reports.  The trace length per workload is
-controlled by the ``REPRO_BENCH_INSTRUCTIONS`` environment variable
-(default 60000) so the full sweep finishes in minutes; raise it for
-higher-fidelity numbers.
+The shared helpers live in :mod:`bench_common`; this conftest only
+keeps backwards-compatible re-exports and ensures the benchmarks
+directory is importable when the suite is collected from the repo root.
 """
 
 from __future__ import annotations
 
-import os
+from bench_common import BENCH_INSTRUCTIONS, run_once, show
 
-#: Dynamic trace length per workload used by the benchmarks.
-BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "60000"))
-
-
-def run_once(benchmark, function, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
-
-
-def show(title: str, text: str) -> None:
-    """Print a regenerated table/figure below the benchmark timings."""
-    print()
-    print(f"===== {title} =====")
-    print(text)
+__all__ = ["BENCH_INSTRUCTIONS", "run_once", "show"]

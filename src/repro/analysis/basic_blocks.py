@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.trace.columns import program_columns
 from repro.trace.events import Trace
 from repro.trace.instruction import CodeSection
 
@@ -37,36 +40,36 @@ class BasicBlockStats:
 def analyze_basic_blocks(
     trace: Trace, section: CodeSection = CodeSection.TOTAL
 ) -> BasicBlockStats:
-    """Compute Figure 4's basic-block length and taken-distance averages."""
-    blocks = trace.program.blocks
+    """Compute Figure 4's basic-block length and taken-distance averages.
 
-    block_count = 0
+    Each dynamic basic block ends at a branch event and each taken run
+    ends at a taken branch, so the per-run totals telescope: the sum of
+    all completed runs is the cumulative sum up to the last terminating
+    event.  That turns the event walk into two ``cumsum`` lookups.
+    """
+    block_ids, taken, _, _ = trace.event_columns(section)
+    static = program_columns(trace.program)
+
+    sizes = static.size_bytes[block_ids]
+    is_branch = static.is_branch[block_ids]
+    branch_positions = np.flatnonzero(is_branch)
+
+    block_count = int(branch_positions.shape[0])
     taken_count = 0
     total_bytes = 0
     total_instructions = 0
-
-    current_bytes = 0
-    current_instructions = 0
-    taken_run_bytes = 0
     taken_run_total = 0
-
-    for event in trace.block_events(section):
-        block = blocks[event.block_id]
-        current_bytes += block.size_bytes
-        current_instructions += block.num_instructions
-        taken_run_bytes += block.size_bytes
-        if not block.terminator.is_branch:
-            continue
-        # A branch instruction ends the current dynamic basic block.
-        block_count += 1
-        total_bytes += current_bytes
-        total_instructions += current_instructions
-        current_bytes = 0
-        current_instructions = 0
-        if event.taken:
-            taken_count += 1
-            taken_run_total += taken_run_bytes
-            taken_run_bytes = 0
+    if block_count:
+        cumulative_bytes = np.cumsum(sizes)
+        last_branch = int(branch_positions[-1])
+        total_bytes = int(cumulative_bytes[last_branch])
+        total_instructions = int(
+            np.cumsum(static.num_instructions[block_ids])[last_branch]
+        )
+        taken_positions = branch_positions[taken[branch_positions]]
+        taken_count = int(taken_positions.shape[0])
+        if taken_count:
+            taken_run_total = int(cumulative_bytes[int(taken_positions[-1])])
 
     average_block_bytes = total_bytes / block_count if block_count else 0.0
     average_block_instructions = (

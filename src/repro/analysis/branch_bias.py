@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.trace.events import Trace
 from repro.trace.instruction import CodeSection
 
@@ -92,21 +94,35 @@ def _bucket_label(taken_percent: float) -> str:
 def analyze_branch_bias(
     trace: Trace, section: CodeSection = CodeSection.TOTAL
 ) -> BiasDistribution:
-    """Compute the Figure 2 taken-percentage distribution for a section."""
-    per_site: Dict[int, List[int]] = {}
-    for record in trace.branch_records(section):
-        if not record.kind.is_conditional:
-            continue
-        stats = per_site.setdefault(record.address, [0, 0])
-        stats[0] += 1
-        if record.taken:
-            stats[1] += 1
+    """Compute the Figure 2 taken-percentage distribution for a section.
 
-    total_dynamic = sum(executions for executions, _ in per_site.values())
+    Per-site execution and taken counts come from one ``unique`` +
+    ``bincount`` pass over the conditional-branch columns; sites are
+    bucketed with a vectorized ``searchsorted`` against the Figure 2
+    bounds.
+    """
+    columns = trace.branch_columns(section)
+    mask = columns.is_conditional
+    addresses = columns.addresses[mask]
+    taken = columns.taken[mask]
+
+    total_dynamic = int(addresses.shape[0])
     bucket_counts: Dict[str, int] = {label: 0 for label in BIAS_BUCKET_LABELS}
-    for executions, taken in per_site.values():
-        taken_percent = 100.0 * taken / executions
-        bucket_counts[_bucket_label(taken_percent)] += executions
+    if total_dynamic:
+        sites, inverse = np.unique(addresses, return_inverse=True)
+        executions = np.bincount(inverse, minlength=sites.shape[0])
+        taken_counts = np.bincount(inverse[taken], minlength=sites.shape[0])
+        taken_percent = 100.0 * taken_counts / executions
+        bucket_indices = np.searchsorted(
+            np.asarray(BIAS_BUCKET_BOUNDS, dtype=np.float64),
+            taken_percent,
+            side="right",
+        )
+        per_bucket = np.bincount(
+            bucket_indices, weights=executions, minlength=len(BIAS_BUCKET_LABELS)
+        )
+        for label, count in zip(BIAS_BUCKET_LABELS, per_bucket.tolist()):
+            bucket_counts[label] = int(count)
 
     if total_dynamic == 0:
         fractions = {label: 0.0 for label in BIAS_BUCKET_LABELS}
@@ -133,20 +149,17 @@ def analyze_taken_directions(
     (conditional, unconditional, call, return, indirect) participates,
     matching a pintool that inspects every taken control transfer.
     """
-    taken = backward = forward = 0
-    for record in trace.branch_records(section):
-        if not record.taken or record.target is None:
-            continue
-        if conditional_only and not record.kind.is_conditional:
-            continue
-        taken += 1
-        if record.is_backward:
-            backward += 1
-        else:
-            forward += 1
+    columns = trace.branch_columns(section)
+    mask = columns.taken & (columns.targets >= 0)
+    if conditional_only:
+        mask &= columns.is_conditional
+    taken = int(np.count_nonzero(mask))
+    backward = int(
+        np.count_nonzero(mask & (columns.targets < columns.addresses))
+    )
     return TakenDirectionSplit(
         section=section,
         taken_count=taken,
         backward_count=backward,
-        forward_count=forward,
+        forward_count=taken - backward,
     )

@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Set
 
+import numpy as np
+
+from repro.trace.columns import program_columns
 from repro.trace.events import Trace
 from repro.trace.instruction import CodeSection
 
@@ -47,11 +50,21 @@ def analyze_line_usefulness(
     if line_bytes <= 0 or line_bytes & (line_bytes - 1):
         raise ValueError("line_bytes must be a positive power of two")
 
+    # The byte sets depend only on *which* static blocks executed, so
+    # they are computed once per distinct block; the fetch count (one
+    # per line a dynamic block touches) is a vectorized reduction.
+    block_ids, _, _, _ = trace.event_columns(section)
+    static = program_columns(trace.program)
+    start_addresses = static.addresses[block_ids]
+    end_addresses = start_addresses + static.size_bytes[block_ids]
+    first_lines = start_addresses // line_bytes
+    last_lines = (end_addresses - 1) // line_bytes
+    fetches = int((last_lines - first_lines + 1).sum())
+
     blocks = trace.program.blocks
     touched: Dict[int, Set[int]] = {}
-    fetches = 0
-    for event in trace.block_events(section):
-        block = blocks[event.block_id]
+    for block_id in np.unique(block_ids).tolist():
+        block = blocks[block_id]
         start = block.address
         end = block.end_address
         first_line = start // line_bytes
@@ -63,7 +76,6 @@ def analyze_line_usefulness(
             hi = min(end, line_end)
             byte_set = touched.setdefault(line_index, set())
             byte_set.update(range(lo - line_start, hi - line_start))
-            fetches += 1
 
     if not touched:
         return LineUsefulness(section, line_bytes, 0, 0.0, 0)

@@ -11,28 +11,36 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Dict, Optional, Tuple
 
 from repro import experiments
 
-#: Experiment name -> (runner, formatter, needs_instructions).
-_EXPERIMENTS: Dict[str, Tuple[Callable, Callable, bool]] = {
-    "fig1": (experiments.run_fig01, experiments.format_fig01, True),
-    "fig2": (experiments.run_fig02, experiments.format_fig02, True),
-    "table1": (experiments.run_table1, experiments.format_table1, True),
-    "fig3": (experiments.run_fig03, experiments.format_fig03, True),
-    "fig4": (experiments.run_fig04, experiments.format_fig04, True),
-    "table2": (experiments.run_table2, experiments.format_table2, False),
-    "fig5": (experiments.run_fig05, experiments.format_fig05, True),
-    "fig6": (experiments.run_fig06, experiments.format_fig06, True),
-    "fig7": (experiments.run_fig07, experiments.format_fig07, True),
-    "fig8": (experiments.run_fig08, experiments.format_fig08, True),
-    "fig9": (experiments.run_fig09, experiments.format_fig09, True),
-    "table3": (experiments.run_table3, experiments.format_table3, False),
-    "fig10": (experiments.run_fig10, experiments.format_fig10, True),
-    "fig11": (experiments.run_fig11, experiments.format_fig11, True),
+#: Experiment name -> (runner, formatter).  Which optional kwargs a
+#: runner accepts (instructions, run_parallel) is detected from its
+#: signature, so the drivers own those capabilities.
+_EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "fig1": (experiments.run_fig01, experiments.format_fig01),
+    "fig2": (experiments.run_fig02, experiments.format_fig02),
+    "table1": (experiments.run_table1, experiments.format_table1),
+    "fig3": (experiments.run_fig03, experiments.format_fig03),
+    "fig4": (experiments.run_fig04, experiments.format_fig04),
+    "table2": (experiments.run_table2, experiments.format_table2),
+    "fig5": (experiments.run_fig05, experiments.format_fig05),
+    "fig6": (experiments.run_fig06, experiments.format_fig06),
+    "fig7": (experiments.run_fig07, experiments.format_fig07),
+    "fig8": (experiments.run_fig08, experiments.format_fig08),
+    "fig9": (experiments.run_fig09, experiments.format_fig09),
+    "table3": (experiments.run_table3, experiments.format_table3),
+    "fig10": (experiments.run_fig10, experiments.format_fig10),
+    "fig11": (experiments.run_fig11, experiments.format_fig11),
 }
+
+
+def _accepts(runner: Callable, parameter: str) -> bool:
+    """Whether a runner's signature accepts an optional kwarg."""
+    return parameter in inspect.signature(runner).parameters
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,15 +62,35 @@ def _build_parser() -> argparse.ArgumentParser:
         default=experiments.DEFAULT_EXPERIMENT_INSTRUCTIONS,
         help="dynamic trace length per workload (default %(default)s)",
     )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan the per-workload sweep across worker processes "
+        "(experiments that support run_parallel)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker process count for --parallel (default: CPU count)",
+    )
     return parser
 
 
-def _run_one(name: str, instructions: int) -> str:
-    runner, formatter, needs_instructions = _EXPERIMENTS[name]
-    if needs_instructions:
-        result = runner(instructions=instructions)
-    else:
-        result = runner()
+def _run_one(
+    name: str,
+    instructions: int,
+    parallel: bool = False,
+    processes: Optional[int] = None,
+) -> str:
+    runner, formatter = _EXPERIMENTS[name]
+    kwargs = {}
+    if _accepts(runner, "instructions"):
+        kwargs["instructions"] = instructions
+    if parallel and _accepts(runner, "run_parallel"):
+        kwargs["run_parallel"] = True
+        kwargs["processes"] = processes
+    result = runner(**kwargs)
     return formatter(result)
 
 
@@ -89,7 +117,7 @@ def main(argv: Optional[list] = None) -> int:
 
     for name in names:
         print(f"== {name} ==")
-        print(_run_one(name, args.instructions))
+        print(_run_one(name, args.instructions, args.parallel, args.processes))
         print()
     return 0
 

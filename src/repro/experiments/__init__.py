@@ -10,7 +10,11 @@ artefact to code is one-to-one (see DESIGN.md's experiment index).
 
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    clear_trace_cache,
+    parallel_map,
+    run_sweep,
     suite_workloads,
+    trace_cache_info,
     workload_trace,
 )
 from repro.experiments.fig01_branch_mix import run_fig01, format_fig01
@@ -32,6 +36,10 @@ __all__ = [
     "DEFAULT_EXPERIMENT_INSTRUCTIONS",
     "suite_workloads",
     "workload_trace",
+    "clear_trace_cache",
+    "trace_cache_info",
+    "parallel_map",
+    "run_sweep",
     "run_fig01", "format_fig01",
     "run_fig02", "format_fig02",
     "run_table1", "format_table1",

@@ -2,8 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import hashlib
+import multiprocessing
+import os
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.trace.columns import program_columns
 from repro.trace.events import Trace
 from repro.trace.instruction import CodeSection
 from repro.workloads.catalog import WORKLOADS, get_workload, workloads_in_suite
@@ -19,6 +26,192 @@ DEFAULT_EXPERIMENT_INSTRUCTIONS = 150_000
 
 #: The sections reported by the per-suite figures, in bar order.
 SECTION_ORDER = (CodeSection.TOTAL, CodeSection.SERIAL, CodeSection.PARALLEL)
+
+#: Directory for the optional on-disk trace cache.  When set, generated
+#: trace columns are persisted as ``.npz`` files so separate driver
+#: *processes* (each CLI invocation is one) share traces too.
+TRACE_CACHE_DIR_VARIABLE = "REPRO_TRACE_CACHE_DIR"
+
+#: Version salt folded into the disk-cache fingerprint.  Bump when the
+#: trace *generation* semantics change in a way the static-layout
+#: fingerprint cannot see (e.g. executor or schedule behaviour).
+TRACE_CACHE_VERSION = 1
+
+#: Process-wide trace cache: (workload name, instructions, seed) -> Trace.
+_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+_TRACE_CACHE_LOCK = threading.Lock()
+_TRACE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def workload_trace(
+    spec: WorkloadSpec,
+    instructions: Optional[int] = None,
+    seed: int = 0,
+) -> Trace:
+    """Build (or reuse) the synthetic workload and return its trace.
+
+    Traces are cached process-wide, keyed by ``(spec.name,
+    instructions, seed)``, so the experiment drivers share one trace
+    per workload instead of each regenerating all of them.  Repeated
+    calls with the same key return the *same* object.  Set the
+    ``REPRO_TRACE_CACHE_DIR`` environment variable to also persist
+    trace columns on disk and share them across driver processes.
+    """
+    if instructions is None:
+        instructions = DEFAULT_EXPERIMENT_INSTRUCTIONS
+    key = (spec.name, int(instructions), int(seed))
+    with _TRACE_CACHE_LOCK:
+        cached = _TRACE_CACHE.get(key)
+        if cached is not None:
+            _TRACE_CACHE_STATS["hits"] += 1
+            return cached
+        _TRACE_CACHE_STATS["misses"] += 1
+
+    trace = _load_trace_from_disk(spec, key)
+    if trace is None:
+        workload: SyntheticWorkload = build_workload(spec)
+        trace = workload.trace(int(instructions), seed=seed)
+        _store_trace_to_disk(trace, key)
+    with _TRACE_CACHE_LOCK:
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace (mainly for tests and memory pressure).
+
+    Also clears the workload-builder cache underneath, which holds the
+    built programs and their per-workload trace dictionaries; without
+    that, the traces would stay strongly referenced and the next
+    "miss" would silently return the same objects.
+    """
+    with _TRACE_CACHE_LOCK:
+        _TRACE_CACHE.clear()
+        _TRACE_CACHE_STATS["hits"] = 0
+        _TRACE_CACHE_STATS["misses"] = 0
+    build_workload.cache_clear()
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the process-wide trace cache."""
+    with _TRACE_CACHE_LOCK:
+        return {
+            "hits": _TRACE_CACHE_STATS["hits"],
+            "misses": _TRACE_CACHE_STATS["misses"],
+            "entries": len(_TRACE_CACHE),
+        }
+
+
+def _disk_cache_path(key: Tuple[str, int, int]) -> Optional[str]:
+    directory = os.environ.get(TRACE_CACHE_DIR_VARIABLE, "")
+    if not directory:
+        return None
+    name, instructions, seed = key
+    return os.path.join(directory, f"{name}-{instructions}-{seed}.npz")
+
+
+def _program_fingerprint(program) -> str:
+    """Digest of the laid-out static program a cached trace refers to.
+
+    Guards the disk cache against synthesis or layout changes: any
+    difference in block addresses, sizes, instruction counts,
+    terminators, or static targets invalidates the entry.  Generation
+    changes invisible to the static layout (branch probabilities,
+    executor behaviour) are covered by bumping
+    :data:`TRACE_CACHE_VERSION`.
+    """
+    columns = program_columns(program)
+    digest = hashlib.sha1(f"v{TRACE_CACHE_VERSION}:".encode())
+    for array in (
+        columns.addresses,
+        columns.size_bytes,
+        columns.num_instructions,
+        columns.terminators,
+        columns.taken_targets,
+    ):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def _load_trace_from_disk(
+    spec: WorkloadSpec, key: Tuple[str, int, int]
+) -> Optional[Trace]:
+    path = _disk_cache_path(key)
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        with np.load(path) as archive:
+            columns = (
+                archive["block_ids"],
+                archive["taken"],
+                archive["targets"],
+                archive["sections"],
+            )
+            fingerprint = str(archive["fingerprint"])
+    except Exception:
+        return None  # Corrupt or stale entry: fall back to regeneration.
+    program = build_workload(spec).program
+    if fingerprint != _program_fingerprint(program):
+        return None  # Synthesis/layout changed; the cached columns are stale.
+    return Trace.from_columns(program, *columns, name=spec.name)
+
+
+def _store_trace_to_disk(trace: Trace, key: Tuple[str, int, int]) -> None:
+    path = _disk_cache_path(key)
+    if path is None:
+        return
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        np.savez_compressed(
+            path,
+            block_ids=trace.block_ids,
+            taken=trace.taken_column,
+            targets=trace.target_column,
+            sections=trace.section_column,
+            fingerprint=np.str_(_program_fingerprint(trace.program)),
+        )
+    except OSError:
+        pass  # Disk cache is best-effort.
+
+
+def parallel_map(
+    function: Callable,
+    items: Sequence,
+    processes: Optional[int] = None,
+) -> List:
+    """Map ``function`` over ``items`` across worker processes, in order.
+
+    ``function`` must be picklable (a module-level function).  With one
+    item, one worker, or no multiprocessing support, falls back to a
+    plain in-process map.  This is what the drivers' ``run_parallel``
+    option fans the per-workload sweep out with.
+    """
+    items = list(items)
+    if processes is None:
+        processes = min(len(items), os.cpu_count() or 1)
+    if processes <= 1 or len(items) <= 1:
+        return [function(item) for item in items]
+    with multiprocessing.Pool(processes) as pool:
+        return pool.map(function, items)
+
+
+def run_sweep(
+    worker: Callable,
+    arguments: Sequence,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
+) -> List:
+    """Run a per-workload sweep worker over its argument tuples.
+
+    Serial by default (sharing the in-process trace cache); with
+    ``run_parallel`` the work fans out across processes via
+    :func:`parallel_map`.  Note that worker processes keep their traces
+    to themselves -- set :data:`TRACE_CACHE_DIR_VARIABLE` so parallel
+    runs persist traces on disk and later drivers can reuse them.
+    """
+    if run_parallel:
+        return parallel_map(worker, arguments, processes)
+    return [worker(args) for args in arguments]
 
 
 def suite_workloads(
@@ -39,14 +232,6 @@ def suite_workloads(
     for suite in suites:
         selected.extend(workloads_in_suite(suite))
     return selected
-
-
-def workload_trace(spec: WorkloadSpec, instructions: Optional[int] = None) -> Trace:
-    """Build (or reuse) the synthetic workload and return its trace."""
-    if instructions is None:
-        instructions = DEFAULT_EXPERIMENT_INSTRUCTIONS
-    workload: SyntheticWorkload = build_workload(spec)
-    return workload.trace(instructions)
 
 
 def sections_for(spec: WorkloadSpec) -> List[CodeSection]:

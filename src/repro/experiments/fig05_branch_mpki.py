@@ -9,6 +9,7 @@ from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
     format_table,
     mean,
+    run_sweep,
     suite_workloads,
     workload_trace,
 )
@@ -17,6 +18,17 @@ from repro.frontend.predictors.factory import predictor_configurations
 from repro.frontend.simulation import simulate_branch_predictor
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import SUITE_ORDER, Suite
+
+
+def _workload_mpki(args) -> Dict[str, float]:
+    """Per-workload worker: all predictor configurations on one trace."""
+    spec, instructions, section = args
+    trace = workload_trace(spec, instructions)
+    mpki: Dict[str, float] = {}
+    for label, kind, budget, with_loop in predictor_configurations():
+        predictor = make_predictor(kind, budget, with_loop)
+        mpki[label] = simulate_branch_predictor(trace, predictor, section).mpki
+    return mpki
 
 
 @dataclass
@@ -35,8 +47,14 @@ def run_fig05(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     suites: Optional[Sequence[Suite]] = None,
     section: CodeSection = CodeSection.TOTAL,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Fig05Result:
-    """Regenerate the Figure 5 data (all nine predictor configurations)."""
+    """Regenerate the Figure 5 data (all nine predictor configurations).
+
+    With ``run_parallel`` the per-workload sweep (trace generation plus
+    all predictor simulations) fans out across worker processes.
+    """
     configurations = predictor_configurations()
     result = Fig05Result(
         instructions=instructions,
@@ -44,15 +62,13 @@ def run_fig05(
     )
     for suite in suites or SUITE_ORDER:
         specs = suite_workloads(suites=[suite])
+        arguments = [(spec, instructions, section) for spec in specs]
+        rows = run_sweep(_workload_mpki, arguments, run_parallel, processes)
         per_config: Dict[str, List[float]] = {label: [] for label, _, _, _ in configurations}
-        for spec in specs:
-            trace = workload_trace(spec, instructions)
-            result.per_workload[spec.name] = {}
-            for label, kind, budget, with_loop in configurations:
-                predictor = make_predictor(kind, budget, with_loop)
-                mpki = simulate_branch_predictor(trace, predictor, section).mpki
+        for spec, row in zip(specs, rows):
+            result.per_workload[spec.name] = row
+            for label, mpki in row.items():
                 per_config[label].append(mpki)
-                result.per_workload[spec.name][label] = mpki
         result.mpki[suite] = {label: mean(values) for label, values in per_config.items()}
     return result
 

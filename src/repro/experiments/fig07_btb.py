@@ -9,11 +9,24 @@ from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
     format_table,
     mean,
+    run_sweep,
     suite_workloads,
     workload_trace,
 )
 from repro.frontend.simulation import simulate_btb
 from repro.workloads.suites import SUITE_ORDER, Suite
+
+
+def _workload_mpki(args) -> Dict[Tuple[int, int], float]:
+    """Per-workload worker: every BTB geometry on one trace."""
+    spec, instructions, geometries = args
+    trace = workload_trace(spec, instructions)
+    return {
+        (entries, associativity): simulate_btb(
+            trace, entries=entries, associativity=associativity
+        ).mpki
+        for entries, associativity in geometries
+    }
 
 #: The nine BTB geometries of Figure 7.
 BTB_GEOMETRIES: Tuple[Tuple[int, int], ...] = tuple(
@@ -39,22 +52,21 @@ def run_fig07(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     suites: Optional[Sequence[Suite]] = None,
     geometries: Optional[Sequence[Tuple[int, int]]] = None,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Fig07Result:
     """Regenerate the Figure 7 data."""
     geometries = list(geometries or BTB_GEOMETRIES)
     result = Fig07Result(instructions=instructions, geometries=geometries)
     for suite in suites or SUITE_ORDER:
         specs = suite_workloads(suites=[suite])
+        arguments = [(spec, instructions, geometries) for spec in specs]
+        rows = run_sweep(_workload_mpki, arguments, run_parallel, processes)
         per_geometry: Dict[Tuple[int, int], List[float]] = {g: [] for g in geometries}
-        for spec in specs:
-            trace = workload_trace(spec, instructions)
-            result.per_workload[spec.name] = {}
-            for entries, associativity in geometries:
-                mpki = simulate_btb(
-                    trace, entries=entries, associativity=associativity
-                ).mpki
-                per_geometry[(entries, associativity)].append(mpki)
-                result.per_workload[spec.name][(entries, associativity)] = mpki
+        for spec, row in zip(specs, rows):
+            result.per_workload[spec.name] = row
+            for geometry, mpki in row.items():
+                per_geometry[geometry].append(mpki)
         result.mpki[suite] = {g: mean(v) for g, v in per_geometry.items()}
     return result
 

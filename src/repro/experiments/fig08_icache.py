@@ -9,11 +9,27 @@ from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
     format_table,
     mean,
+    run_sweep,
     suite_workloads,
     workload_trace,
 )
 from repro.frontend.simulation import simulate_icache
 from repro.workloads.suites import SUITE_ORDER, Suite
+
+
+def _workload_mpki(args) -> Dict[Tuple[int, int], float]:
+    """Per-workload worker: every I-cache geometry on one trace."""
+    spec, instructions, geometries = args
+    trace = workload_trace(spec, instructions)
+    return {
+        (size_kb, associativity): simulate_icache(
+            trace,
+            size_bytes=size_kb * 1024,
+            line_bytes=LINE_BYTES,
+            associativity=associativity,
+        ).mpki
+        for size_kb, associativity in geometries
+    }
 
 #: The nine I-cache geometries of Figure 8: size (KB) x associativity,
 #: with the paper's fixed 64-byte lines.
@@ -42,25 +58,21 @@ def run_fig08(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     suites: Optional[Sequence[Suite]] = None,
     geometries: Optional[Sequence[Tuple[int, int]]] = None,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Fig08Result:
     """Regenerate the Figure 8 data."""
     geometries = list(geometries or ICACHE_GEOMETRIES)
     result = Fig08Result(instructions=instructions, geometries=geometries)
     for suite in suites or SUITE_ORDER:
         specs = suite_workloads(suites=[suite])
+        arguments = [(spec, instructions, geometries) for spec in specs]
+        rows = run_sweep(_workload_mpki, arguments, run_parallel, processes)
         per_geometry: Dict[Tuple[int, int], List[float]] = {g: [] for g in geometries}
-        for spec in specs:
-            trace = workload_trace(spec, instructions)
-            result.per_workload[spec.name] = {}
-            for size_kb, associativity in geometries:
-                mpki = simulate_icache(
-                    trace,
-                    size_bytes=size_kb * 1024,
-                    line_bytes=LINE_BYTES,
-                    associativity=associativity,
-                ).mpki
-                per_geometry[(size_kb, associativity)].append(mpki)
-                result.per_workload[spec.name][(size_kb, associativity)] = mpki
+        for spec, row in zip(specs, rows):
+            result.per_workload[spec.name] = row
+            for geometry, mpki in row.items():
+                per_geometry[geometry].append(mpki)
         result.mpki[suite] = {g: mean(v) for g, v in per_geometry.items()}
     return result
 

@@ -74,6 +74,48 @@ class BranchTargetBuffer:
             self.insert(address, target)
         return hit
 
+    def access_sequence(self, addresses, targets) -> int:
+        """Batch :meth:`access` over a taken-branch stream; returns misses.
+
+        A tight loop over plain ints with the set dictionaries held in
+        locals; lookup/miss counters and replacement state evolve
+        exactly as under per-call :meth:`access`.
+        """
+        sets = self._sets
+        num_sets = self.sets
+        associativity_limit = self.associativity
+        set_mask = num_sets - 1
+        tag_shift = index_bits(num_sets) if num_sets > 1 else 0
+        multi_set = num_sets > 1
+        lookups = 0
+        lookup_misses = 0
+        misses = 0
+        for address, target in zip(addresses.tolist(), targets.tolist()):
+            pc = address >> 2
+            if multi_set:
+                entry_set = sets[pc & set_mask]
+                tag = pc >> tag_shift
+            else:
+                entry_set = sets[0]
+                tag = pc
+            lookups += 1
+            stored = entry_set.get(tag)
+            if stored is None:
+                lookup_misses += 1
+                misses += 1
+                if len(entry_set) >= associativity_limit:
+                    del entry_set[next(iter(entry_set))]
+                entry_set[tag] = target
+            else:
+                # Refresh LRU position (and the target, when it changed).
+                del entry_set[tag]
+                entry_set[tag] = target
+                if stored != target:
+                    misses += 1
+        self.lookups += lookups
+        self.misses += lookup_misses
+        return misses
+
     @property
     def miss_rate(self) -> float:
         """Fraction of lookups that missed."""

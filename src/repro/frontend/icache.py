@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import numpy as np
+
 from repro.frontend.predictors.base import index_bits
 
 
@@ -66,6 +68,57 @@ class InstructionCache:
         for line in range(first_line, last_line + 1):
             if not self.access_line(line):
                 misses += 1
+        return misses
+
+    def fetch_ranges(self, start_addresses, sizes) -> int:
+        """Batch :meth:`fetch_range` over byte ranges; returns misses.
+
+        The ranges are expanded into the cache lines they touch with
+        one vectorized pass; consecutive accesses to the same line are
+        guaranteed hits (the line is already most-recently-used), so
+        they are run-length compressed away and only line *changes*
+        walk the LRU state, in a tight loop with the set dictionaries
+        held in locals.  Counters and replacement state evolve exactly
+        as under per-range :meth:`fetch_range`.
+        """
+        line_shift = index_bits(self.line_bytes)
+        first_lines = start_addresses >> line_shift
+        last_lines = (start_addresses + sizes - 1) >> line_shift
+        lines_per_range = last_lines - first_lines + 1
+        total_accesses = int(lines_per_range.sum())
+        if total_accesses == 0:
+            return 0
+        repeated_firsts = np.repeat(first_lines, lines_per_range)
+        run_starts = np.cumsum(lines_per_range) - lines_per_range
+        offsets = np.arange(total_accesses, dtype=np.int64) - np.repeat(
+            run_starts, lines_per_range
+        )
+        lines = repeated_firsts + offsets
+        changed = np.empty(total_accesses, dtype=bool)
+        changed[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=changed[1:])
+        distinct_lines = lines[changed]
+
+        sets = self._sets
+        num_sets = self.num_sets
+        associativity_limit = self.associativity
+        set_mask = num_sets - 1
+        tag_shift = max(0, index_bits(num_sets))
+        multi_set = num_sets > 1
+        misses = 0
+        for line in distinct_lines.tolist():
+            entry_set = sets[line & set_mask] if multi_set else sets[0]
+            tag = line >> tag_shift
+            if tag in entry_set:
+                del entry_set[tag]
+                entry_set[tag] = None
+            else:
+                misses += 1
+                if len(entry_set) >= associativity_limit:
+                    del entry_set[next(iter(entry_set))]
+                entry_set[tag] = None
+        self.accesses += total_accesses
+        self.misses += misses
         return misses
 
     @property

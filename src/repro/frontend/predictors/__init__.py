@@ -7,6 +7,11 @@ from repro.frontend.predictors.tournament import TournamentPredictor
 from repro.frontend.predictors.tage import TagePredictor
 from repro.frontend.predictors.loop import LoopPredictor
 from repro.frontend.predictors.hybrid import PredictorWithLoop
+from repro.frontend.predictors.static import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BackwardTakenPredictor,
+)
 from repro.frontend.predictors.factory import (
     PREDICTOR_BUDGETS,
     make_predictor,
@@ -21,6 +26,9 @@ __all__ = [
     "TagePredictor",
     "LoopPredictor",
     "PredictorWithLoop",
+    "AlwaysTakenPredictor",
+    "AlwaysNotTakenPredictor",
+    "BackwardTakenPredictor",
     "make_predictor",
     "predictor_configurations",
     "PREDICTOR_BUDGETS",

@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import abc
+from typing import Optional
+
+import numpy as np
 
 
 class BranchPredictor(abc.ABC):
@@ -12,6 +15,13 @@ class BranchPredictor(abc.ABC):
     the prediction with the actual outcome, and then calls
     :meth:`update` with that outcome so the predictor can train -- the
     same protocol a pintool implementing the structure follows.
+
+    :meth:`simulate_sequence` is the batch entry point the columnar
+    simulator uses: it runs predict-then-train over a whole branch
+    stream and returns the predictions.  The base implementation is a
+    tight scalar loop over :meth:`predict`/:meth:`update`; subclasses
+    override it with inlined (or, for stateless predictors, fully
+    vectorized) versions that produce bit-identical predictions.
     """
 
     #: Short name used in figure legends (e.g. ``"gshare"``).
@@ -24,6 +34,26 @@ class BranchPredictor(abc.ABC):
     @abc.abstractmethod
     def update(self, address: int, taken: bool) -> None:
         """Train the predictor with the resolved outcome."""
+
+    def simulate_sequence(
+        self,
+        addresses: np.ndarray,
+        taken: np.ndarray,
+        targets: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Predict and train over a branch stream; returns predictions.
+
+        ``targets`` carries the resolved taken-targets (-1 when
+        unknown); only static direction heuristics (BTFN) consult it.
+        """
+        predictions = []
+        append = predictions.append
+        predict = self.predict
+        update = self.update
+        for address, outcome in zip(addresses.tolist(), taken.tolist()):
+            append(predict(address))
+            update(address, outcome)
+        return np.array(predictions, dtype=bool)
 
     @abc.abstractmethod
     def storage_bits(self) -> int:

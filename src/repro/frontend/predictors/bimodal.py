@@ -7,6 +7,10 @@ baseline in its own right and the base component of the TAGE predictor.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.frontend.predictors.base import BranchPredictor, SaturatingCounter
 
 
@@ -37,6 +41,49 @@ class BimodalPredictor(BranchPredictor):
         self._table[index] = SaturatingCounter.update(
             self._table[index], taken, self.counter_bits
         )
+
+    def simulate_sequence(
+        self,
+        addresses: np.ndarray,
+        taken: np.ndarray,
+        targets: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batch mode: the predict/update automaton inlined per entry.
+
+        Events are grouped by table entry (each entry's counter evolves
+        independently), so the per-event work is a handful of local
+        operations with no function calls.
+        """
+        count = int(addresses.shape[0])
+        if count == 0:
+            return np.zeros(0, dtype=bool)
+        indices = (addresses >> 2) & (self.entries - 1)
+        order = np.argsort(indices, kind="stable")
+        sorted_indices = indices[order]
+        boundaries = np.flatnonzero(sorted_indices[1:] != sorted_indices[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [count]))
+
+        predictions = np.empty(count, dtype=bool)
+        table = self._table
+        threshold = 1 << (self.counter_bits - 1)
+        ceiling = (1 << self.counter_bits) - 1
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            positions = order[start:end]
+            entry = int(sorted_indices[start])
+            value = table[entry]
+            group_predictions = []
+            append = group_predictions.append
+            for outcome in taken[positions].tolist():
+                append(value >= threshold)
+                if outcome:
+                    if value < ceiling:
+                        value += 1
+                elif value > 0:
+                    value -= 1
+            table[entry] = value
+            predictions[positions] = group_predictions
+        return predictions
 
     def storage_bits(self) -> int:
         return self.entries * self.counter_bits

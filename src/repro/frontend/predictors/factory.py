@@ -14,11 +14,25 @@ from repro.frontend.predictors.base import BranchPredictor
 from repro.frontend.predictors.gshare import GsharePredictor
 from repro.frontend.predictors.hybrid import PredictorWithLoop
 from repro.frontend.predictors.loop import LoopPredictor
+from repro.frontend.predictors.static import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BackwardTakenPredictor,
+)
 from repro.frontend.predictors.tage import TagePredictor
 from repro.frontend.predictors.tournament import TournamentPredictor
 
 #: Predictor families evaluated in Figure 5.
 PREDICTOR_KINDS = ("gshare", "tournament", "tage")
+
+#: Stateless heuristics (budget-independent, fully vectorized batch path).
+STATIC_PREDICTOR_KINDS = ("always-taken", "always-not-taken", "btfn")
+
+_STATIC_PREDICTORS = {
+    "always-taken": AlwaysTakenPredictor,
+    "always-not-taken": AlwaysNotTakenPredictor,
+    "btfn": BackwardTakenPredictor,
+}
 
 #: Budget labels used throughout the paper.
 PREDICTOR_BUDGETS = ("small", "big")
@@ -64,8 +78,16 @@ def make_predictor(kind: str, budget: str = "small", with_loop: bool = False) ->
     """
     kind = kind.lower()
     budget = budget.lower()
+    if kind in _STATIC_PREDICTORS:
+        predictor = _STATIC_PREDICTORS[kind]()
+        if with_loop:
+            predictor = PredictorWithLoop(predictor, LoopPredictor())
+        return predictor
     if kind not in PREDICTOR_KINDS:
-        raise ValueError(f"unknown predictor kind {kind!r}; expected one of {PREDICTOR_KINDS}")
+        raise ValueError(
+            f"unknown predictor kind {kind!r}; expected one of "
+            f"{PREDICTOR_KINDS + STATIC_PREDICTOR_KINDS}"
+        )
     if budget not in PREDICTOR_BUDGETS:
         raise ValueError(f"unknown budget {budget!r}; expected one of {PREDICTOR_BUDGETS}")
 

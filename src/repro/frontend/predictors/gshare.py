@@ -8,6 +8,10 @@ the ~16KB budget (hardware cost ``2^(m+1)`` bits, Table II).
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.frontend.predictors.base import BranchPredictor, SaturatingCounter
 
 
@@ -35,6 +39,33 @@ class GsharePredictor(BranchPredictor):
         index = self._index(address)
         self._table[index] = SaturatingCounter.update(self._table[index], taken)
         self._history = ((self._history << 1) | int(taken)) & self._mask
+
+    def simulate_sequence(
+        self,
+        addresses: np.ndarray,
+        taken: np.ndarray,
+        targets: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Predict/update inlined into one loop with table and history local."""
+        predictions = []
+        append = predictions.append
+        table = self._table
+        mask = self._mask
+        history = self._history
+        for address, outcome in zip(addresses.tolist(), taken.tolist()):
+            index = ((address >> 2) ^ history) & mask
+            value = table[index]
+            append(value >= 2)
+            if outcome:
+                if value < 3:
+                    table[index] = value + 1
+                history = ((history << 1) | 1) & mask
+            else:
+                if value > 0:
+                    table[index] = value - 1
+                history = (history << 1) & mask
+        self._history = history
+        return np.array(predictions, dtype=bool)
 
     def storage_bits(self) -> int:
         # 2-bit counters plus the global history register (Table II

@@ -8,6 +8,10 @@ in the branch being a constant-trip-count loop latch.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.frontend.predictors.base import BranchPredictor
 from repro.frontend.predictors.loop import LoopPredictor
 
@@ -28,6 +32,27 @@ class PredictorWithLoop(BranchPredictor):
     def update(self, address: int, taken: bool) -> None:
         self.base.update(address, taken)
         self.loop.update(address, taken)
+
+    def simulate_sequence(
+        self,
+        addresses: np.ndarray,
+        taken: np.ndarray,
+        targets: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run the two components as independent batch passes.
+
+        The loop predictor's state never depends on the base predictor
+        (and vice versa) -- both train on the raw outcome stream -- so
+        the interleaved scalar protocol decomposes into one pass per
+        component combined with a vectorized select.
+        """
+        overrides, loop_predictions = self.loop.simulate_overrides(addresses, taken)
+        base_predictions = self.base.simulate_sequence(addresses, taken, targets)
+        return np.where(
+            np.array(overrides, dtype=bool),
+            np.array(loop_predictions, dtype=bool),
+            base_predictions,
+        )
 
     def storage_bits(self) -> int:
         return self.base.storage_bits() + self.loop.storage_bits()

@@ -118,6 +118,64 @@ class LoopPredictor(BranchPredictor):
             entry.confidence = 0
         entry.current_count = 0
 
+    def simulate_overrides(self, addresses, taken):
+        """Batch pass: per-branch (override?, loop prediction) lists.
+
+        Runs ``is_confident``/``predict``/``update`` inlined over the
+        whole stream with the table held in locals; state transitions
+        are identical to the scalar methods.
+        """
+        table = self._table
+        entries_mask = self.entries - 1
+        tag_shift = self.entries.bit_length() - 1
+        tag_mask = (1 << self.tag_bits) - 1
+        max_count = self._max_count
+        max_confidence = self._max_confidence
+        threshold = self.CONFIDENCE_THRESHOLD
+        min_trip = self.MIN_TRIP_COUNT
+        overrides = []
+        predictions = []
+        override_append = overrides.append
+        prediction_append = predictions.append
+        for address, outcome in zip(addresses.tolist(), taken.tolist()):
+            pc = address >> 2
+            slot = pc & entries_mask
+            tag = (pc >> tag_shift) & tag_mask
+            entry = table[slot]
+            matched = entry is not None and entry.tag == tag
+            if (
+                matched
+                and entry.trip_count >= min_trip
+                and entry.confidence >= threshold
+            ):
+                override_append(True)
+                prediction_append(entry.current_count + 1 < entry.trip_count)
+            else:
+                override_append(False)
+                prediction_append(False)
+
+            if not matched:
+                if entry is not None and entry.confidence >= threshold:
+                    entry.age += 1
+                    if entry.age < 4:
+                        continue
+                table[slot] = _LoopEntry(tag=tag, current_count=1 if outcome else 0)
+                continue
+            entry.age = 0
+            if outcome:
+                if entry.current_count < max_count:
+                    entry.current_count += 1
+                continue
+            iterations = entry.current_count + 1
+            if entry.trip_count == iterations:
+                if entry.confidence < max_confidence:
+                    entry.confidence += 1
+            else:
+                entry.trip_count = iterations
+                entry.confidence = 0
+            entry.current_count = 0
+        return overrides, predictions
+
     def storage_bits(self) -> int:
         per_entry = self.tag_bits + 2 * self.counter_bits + self.confidence_bits + 4
         return self.entries * per_entry

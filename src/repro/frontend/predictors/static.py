@@ -1,0 +1,93 @@
+"""Static (stateless) direction predictors.
+
+These are the classic compile-time heuristics: predict every branch
+taken, every branch not-taken, or backward-taken / forward-not-taken
+(BTFN, the heuristic that exploits the loop-back-edge bias Table I
+measures).  Because they keep no state, their batch path is a single
+vectorized expression over the branch columns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.frontend.predictors.base import BranchPredictor
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predict taken for every conditional branch."""
+
+    name = "always-taken"
+
+    def predict(self, address: int) -> bool:
+        return True
+
+    def update(self, address: int, taken: bool) -> None:
+        pass
+
+    def simulate_sequence(
+        self,
+        addresses: np.ndarray,
+        taken: np.ndarray,
+        targets: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return np.ones(addresses.shape[0], dtype=bool)
+
+    def storage_bits(self) -> int:
+        return 0
+
+
+class AlwaysNotTakenPredictor(BranchPredictor):
+    """Predict not-taken for every conditional branch."""
+
+    name = "always-not-taken"
+
+    def predict(self, address: int) -> bool:
+        return False
+
+    def update(self, address: int, taken: bool) -> None:
+        pass
+
+    def simulate_sequence(
+        self,
+        addresses: np.ndarray,
+        taken: np.ndarray,
+        targets: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return np.zeros(addresses.shape[0], dtype=bool)
+
+    def storage_bits(self) -> int:
+        return 0
+
+
+class BackwardTakenPredictor(BranchPredictor):
+    """BTFN: backward branches predicted taken, forward ones not-taken.
+
+    The direction requires the branch target, which the scalar
+    :meth:`predict` signature does not carry; use the batch path
+    (:meth:`simulate_sequence`) where the targets column is available.
+    A branch with no resolvable target is predicted not-taken.
+    """
+
+    name = "btfn"
+
+    def predict(self, address: int) -> bool:
+        return False
+
+    def update(self, address: int, taken: bool) -> None:
+        pass
+
+    def simulate_sequence(
+        self,
+        addresses: np.ndarray,
+        taken: np.ndarray,
+        targets: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if targets is None:
+            return np.zeros(addresses.shape[0], dtype=bool)
+        return (targets >= 0) & (targets < addresses)
+
+    def storage_bits(self) -> int:
+        return 0

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.frontend.predictors.base import BranchPredictor, index_bits
 from repro.frontend.predictors.bimodal import BimodalPredictor
 
@@ -242,6 +244,220 @@ class TagePredictor(BranchPredictor):
         self._updates_since_reset = 0
         for table in self.tables:
             table.useful = [value >> 1 for value in table.useful]
+
+    # ------------------------------------------------------------------
+    # Batch simulation
+    # ------------------------------------------------------------------
+    def simulate_sequence(
+        self,
+        addresses: np.ndarray,
+        taken: np.ndarray,
+        targets: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batch path: fold registers, indices, and tags precomputed
+        vectorized; only table state (lookup, training, allocation)
+        runs in the scalar loop.
+
+        The history bit fed to TAGE is ``taken ^ (pc & 1)`` -- a pure
+        function of the branch stream, independent of table state -- so
+        the whole history is known upfront.  A folded register equals
+        the XOR of the compressed-width chunks of its history window
+        (that is the invariant the incremental update maintains), which
+        makes every per-branch fold value a handful of gathers over
+        sliding bit windows.  Predictions and state transitions are
+        bit-identical to the scalar :meth:`predict`/:meth:`update` pair.
+        """
+        n = int(addresses.shape[0])
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        tables = self.tables
+        ntables = len(tables)
+        max_history = self.max_history
+
+        pcs = (addresses.astype(np.int64) >> 2)
+        outcome_bits = taken.astype(np.int64)
+        new_bits = outcome_bits ^ (pcs & 1)
+
+        # Extended bit stream: pre-existing history (oldest first), then
+        # the bits this batch inserts.  Branch t's history window is the
+        # max_history bits ending just before stream position
+        # max_history + t.
+        old_bits = np.array(self._history[::-1], dtype=np.int64)
+        stream = np.concatenate([old_bits, new_bits])
+        offset = int(old_bits.shape[0])
+
+        # W[u] = the C-bit window of stream bits ending at u, newest bit
+        # in the LSB; one array per distinct compressed width.
+        window_cache: dict = {}
+
+        def windows(width: int) -> np.ndarray:
+            cached = window_cache.get(width)
+            if cached is None:
+                cached = stream.copy()
+                for i in range(1, width):
+                    cached[i:] |= stream[:-i] << i
+                window_cache[width] = cached
+            return cached
+
+        def fold_values(history_length: int, width: int) -> np.ndarray:
+            folded = np.zeros(n, dtype=np.int64)
+            chunk_windows = windows(width)
+            chunks = (history_length + width - 1) // width
+            for j in range(chunks):
+                start = offset - 1 - j * width
+                values = chunk_windows[start : start + n]
+                remainder = history_length - j * width
+                if remainder < width:
+                    values = values & ((1 << remainder) - 1)
+                folded = folded ^ values
+            return folded
+
+        indices_l = []
+        tags_l = []
+        for table in tables:
+            fold_index = fold_values(table.history_length, table.index_bits)
+            fold_tag_a = fold_values(table.history_length, table.tag_fold_a.compressed_length)
+            fold_tag_b = fold_values(table.history_length, table.tag_fold_b.compressed_length)
+            indices_l.append(
+                ((pcs ^ (pcs >> table.index_bits) ^ fold_index) & (table.entries - 1)).tolist()
+            )
+            tags_l.append(
+                ((pcs ^ fold_tag_a ^ (fold_tag_b << 1)) & ((1 << table.tag_bits) - 1)).tolist()
+            )
+
+        counters_store = [t.counters for t in tables]
+        tags_store = [t.tags for t in tables]
+        useful_store = [t.useful for t in tables]
+
+        base = self.base
+        base_table = base._table
+        base_threshold = 1 << (base.counter_bits - 1)
+        base_ceiling = (1 << base.counter_bits) - 1
+        base_indices = (pcs & (base.entries - 1)).tolist()
+        outcomes = taken.tolist()
+
+        allocation_seed = self._allocation_seed
+        updates_since_reset = self._updates_since_reset
+        reset_period = self._useful_reset_period
+
+        predictions = []
+        append = predictions.append
+        reversed_tables = tuple(range(ntables - 1, -1, -1))
+        table_range = range(ntables)
+
+        for position in range(n):
+            outcome = outcomes[position]
+            provider = None
+            alternate = None
+            for k in reversed_tables:
+                if tags_store[k][indices_l[k][position]] == tags_l[k][position]:
+                    if provider is None:
+                        provider = k
+                    elif alternate is None:
+                        alternate = k
+                        break
+            base_index = base_indices[position]
+            base_pred = base_table[base_index] >= base_threshold
+            if provider is not None:
+                provider_entry = indices_l[provider][position]
+                provider_pred = counters_store[provider][provider_entry] >= 4
+            else:
+                provider_pred = base_pred
+            if alternate is not None:
+                alternate_pred = (
+                    counters_store[alternate][indices_l[alternate][position]] >= 4
+                )
+            else:
+                alternate_pred = base_pred
+            append(provider_pred)
+
+            correct = provider_pred == outcome
+
+            if provider is not None and provider_pred != alternate_pred:
+                u = useful_store[provider][provider_entry]
+                if correct:
+                    if u < 3:
+                        useful_store[provider][provider_entry] = u + 1
+                elif u > 0:
+                    useful_store[provider][provider_entry] = u - 1
+
+            if provider is not None:
+                counter = counters_store[provider][provider_entry]
+                if outcome:
+                    if counter < 7:
+                        counter += 1
+                elif counter > 0:
+                    counter -= 1
+                counters_store[provider][provider_entry] = counter
+                if counter == 3 or counter == 4:
+                    value = base_table[base_index]
+                    if outcome:
+                        if value < base_ceiling:
+                            base_table[base_index] = value + 1
+                    elif value > 0:
+                        base_table[base_index] = value - 1
+            else:
+                value = base_table[base_index]
+                if outcome:
+                    if value < base_ceiling:
+                        base_table[base_index] = value + 1
+                elif value > 0:
+                    base_table[base_index] = value - 1
+
+            if not correct:
+                start = 0 if provider is None else provider + 1
+                candidates = [
+                    k
+                    for k in range(start, ntables)
+                    if useful_store[k][indices_l[k][position]] == 0
+                ]
+                if not candidates:
+                    for k in range(start, ntables):
+                        entry = indices_l[k][position]
+                        u = useful_store[k][entry]
+                        if u > 0:
+                            useful_store[k][entry] = u - 1
+                else:
+                    allocation_seed = (
+                        allocation_seed * 1103515245 + 12345
+                    ) & 0x7FFFFFFF
+                    choice = candidates[0]
+                    if len(candidates) > 1 and (allocation_seed & 0x3) == 0:
+                        choice = candidates[1]
+                    entry = indices_l[choice][position]
+                    tags_store[choice][entry] = tags_l[choice][position]
+                    counters_store[choice][entry] = 4 if outcome else 3
+                    useful_store[choice][entry] = 0
+
+            updates_since_reset += 1
+            if updates_since_reset >= reset_period:
+                updates_since_reset = 0
+                for k in table_range:
+                    halved = [value >> 1 for value in useful_store[k]]
+                    tables[k].useful = halved
+                    useful_store[k] = halved
+
+        # Re-derive the trailing state: history list (newest bit first)
+        # and each fold register's value over its final window.
+        tail = stream[offset + n - max_history : offset + n][::-1].tolist()
+        self._history = tail
+        final_history = 0
+        for position, bit in enumerate(tail):
+            final_history |= bit << position
+        for table in tables:
+            window = final_history & ((1 << table.history_length) - 1)
+            for fold in (table.index_fold, table.tag_fold_a, table.tag_fold_b):
+                chunk_mask = (1 << fold.compressed_length) - 1
+                value = 0
+                remaining = window
+                while remaining:
+                    value ^= remaining & chunk_mask
+                    remaining >>= fold.compressed_length
+                fold.value = value
+        self._allocation_seed = allocation_seed
+        self._updates_since_reset = updates_since_reset
+        self._last = None
+        return np.array(predictions, dtype=bool)
 
     # ------------------------------------------------------------------
     # Cost

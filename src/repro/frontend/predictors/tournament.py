@@ -9,6 +9,10 @@ and ``n = 12, m = 14`` (big, ~16KB).
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.frontend.predictors.base import BranchPredictor, SaturatingCounter
 
 
@@ -73,6 +77,58 @@ class TournamentPredictor(BranchPredictor):
         self._global_history = (
             (self._global_history << 1) | int(taken)
         ) & self._prediction_mask
+
+    def simulate_sequence(
+        self,
+        addresses: np.ndarray,
+        taken: np.ndarray,
+        targets: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Both component lookups and all four trainings inlined."""
+        predictions = []
+        append = predictions.append
+        local_history = self._local_history
+        local_counters = self._local_counters
+        global_counters = self._global_counters
+        choice = self._choice
+        local_mask = self._local_mask
+        prediction_mask = self._prediction_mask
+        global_history = self._global_history
+        for address, outcome in zip(addresses.tolist(), taken.tolist()):
+            slot = (address >> 2) & local_mask
+            local_index = local_history[slot] & prediction_mask
+            global_index = global_history & prediction_mask
+            local_taken = local_counters[local_index] >= 2
+            global_taken = global_counters[global_index] >= 2
+            append(global_taken if choice[slot] >= 2 else local_taken)
+
+            if local_taken != global_taken:
+                value = choice[slot]
+                if global_taken == outcome:
+                    if value < 3:
+                        choice[slot] = value + 1
+                elif value > 0:
+                    choice[slot] = value - 1
+            if outcome:
+                value = local_counters[local_index]
+                if value < 3:
+                    local_counters[local_index] = value + 1
+                value = global_counters[global_index]
+                if value < 3:
+                    global_counters[global_index] = value + 1
+                local_history[slot] = ((local_history[slot] << 1) | 1) & prediction_mask
+                global_history = ((global_history << 1) | 1) & prediction_mask
+            else:
+                value = local_counters[local_index]
+                if value > 0:
+                    local_counters[local_index] = value - 1
+                value = global_counters[global_index]
+                if value > 0:
+                    global_counters[global_index] = value - 1
+                local_history[slot] = (local_history[slot] << 1) & prediction_mask
+                global_history = (global_history << 1) & prediction_mask
+        self._global_history = global_history
+        return np.array(predictions, dtype=bool)
 
     def storage_bits(self) -> int:
         # Local histories (m bits each) + choice (2 bits each) for 2^n

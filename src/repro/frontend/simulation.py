@@ -11,10 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.frontend.btb import BranchTargetBuffer
 from repro.frontend.configs import FrontEndConfig
 from repro.frontend.icache import InstructionCache
 from repro.frontend.predictors import BranchPredictor
+from repro.trace.columns import program_columns
 from repro.trace.events import Trace
 from repro.trace.instruction import BranchKind, CodeSection
 
@@ -127,28 +130,28 @@ def simulate_branch_predictor(
     predictor: BranchPredictor,
     section: CodeSection = CodeSection.TOTAL,
 ) -> BranchPredictionResult:
-    """Measure the branch MPKI of a direction predictor on one trace."""
-    mispredictions = 0
-    miss_not_taken = 0
-    miss_taken_backward = 0
-    miss_taken_forward = 0
-    conditional = 0
+    """Measure the branch MPKI of a direction predictor on one trace.
 
-    for record in trace.branch_records(section):
-        if not record.kind.is_conditional:
-            continue
-        conditional += 1
-        prediction = predictor.predict(record.address)
-        predictor.update(record.address, record.taken)
-        if prediction == record.taken:
-            continue
-        mispredictions += 1
-        if not record.taken:
-            miss_not_taken += 1
-        elif record.is_backward:
-            miss_taken_backward += 1
-        else:
-            miss_taken_forward += 1
+    The conditional-branch stream is gathered from the trace columns in
+    one shot; the predictor runs its batch path (vectorized for static
+    predictors, a tight inlined loop for the stateful ones) and the
+    misprediction breakdown is tallied with boolean-mask reductions.
+    """
+    columns = trace.branch_columns(section)
+    mask = columns.is_conditional
+    addresses = columns.addresses[mask]
+    taken = columns.taken[mask]
+    targets = columns.targets[mask]
+    conditional = int(addresses.shape[0])
+
+    predictions = predictor.simulate_sequence(addresses, taken, targets)
+
+    wrong = predictions != taken
+    mispredictions = int(np.count_nonzero(wrong))
+    miss_not_taken = int(np.count_nonzero(wrong & ~taken))
+    backward = (targets >= 0) & (targets < addresses)
+    miss_taken_backward = int(np.count_nonzero(wrong & taken & backward))
+    miss_taken_forward = mispredictions - miss_not_taken - miss_taken_backward
 
     return BranchPredictionResult(
         predictor_name=predictor.name,
@@ -177,16 +180,14 @@ def simulate_btb(
     """
     if btb is None:
         btb = BranchTargetBuffer(entries, associativity)
-    taken_branches = 0
-    misses = 0
-    for record in trace.branch_records(section):
-        if not record.taken or record.target is None:
-            continue
-        if not include_returns and record.kind is BranchKind.RETURN:
-            continue
-        taken_branches += 1
-        if not btb.access(record.address, record.target):
-            misses += 1
+    columns = trace.branch_columns(section)
+    mask = columns.taken & (columns.targets >= 0)
+    if not include_returns:
+        mask &= columns.kinds != int(BranchKind.RETURN)
+    addresses = columns.addresses[mask]
+    targets = columns.targets[mask]
+    taken_branches = int(addresses.shape[0])
+    misses = btb.access_sequence(addresses, targets)
     return BTBResult(
         entries=btb.entries,
         associativity=btb.associativity,
@@ -208,11 +209,11 @@ def simulate_icache(
     """Measure I-cache MPKI with sequential-fetch access semantics."""
     if cache is None:
         cache = InstructionCache(size_bytes, line_bytes, associativity)
-    blocks = trace.program.blocks
-    misses = 0
-    for event in trace.block_events(section):
-        block = blocks[event.block_id]
-        misses += cache.fetch_range(block.address, block.size_bytes)
+    block_ids, _, _, _ = trace.event_columns(section)
+    static = program_columns(trace.program)
+    misses = cache.fetch_ranges(
+        static.addresses[block_ids], static.size_bytes[block_ids]
+    )
     return ICacheResult(
         size_bytes=cache.size_bytes,
         line_bytes=cache.line_bytes,

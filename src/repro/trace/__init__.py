@@ -22,7 +22,8 @@ the dynamic instruction stream produced by Pin.
 
 from repro.trace.instruction import BranchKind, CodeSection
 from repro.trace.basic_block import BasicBlock
-from repro.trace.events import BlockEvent, BranchRecord, Trace
+from repro.trace.columns import ProgramColumns, program_columns
+from repro.trace.events import BlockEvent, BranchColumns, BranchRecord, Trace
 from repro.trace.program import (
     CallRegion,
     CodeRegion,
@@ -53,8 +54,11 @@ __all__ = [
     "CodeSection",
     "BasicBlock",
     "BlockEvent",
+    "BranchColumns",
     "BranchRecord",
     "Trace",
+    "ProgramColumns",
+    "program_columns",
     "Region",
     "CodeRegion",
     "Sequence",

@@ -1,0 +1,95 @@
+"""Columnar (structure-of-arrays) views of static program metadata.
+
+The trace layer stores dynamic events as NumPy columns; to turn those
+into per-branch or per-instruction quantities it needs the static
+properties of every basic block as lookup arrays indexed by block id.
+:class:`ProgramColumns` precomputes those arrays once per
+:class:`~repro.trace.program.Program` so every downstream accessor is a
+vectorized gather instead of a per-event Python loop.
+
+The arrays mirror the scalar :class:`~repro.trace.basic_block.BasicBlock`
+properties exactly (including the ``branch_address`` approximation), so
+columnar results are bit-identical to walking the block objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.trace.instruction import BranchKind
+
+#: Sentinel used in target columns for "no statically-known target".
+NO_TARGET = -1
+
+
+class ProgramColumns:
+    """Static per-block metadata of a program as dense NumPy arrays.
+
+    All arrays are indexed by ``block_id`` (the dense identifiers a
+    :class:`Program` assigns), so gathering per-event values is
+    ``array[trace_block_ids]``.
+    """
+
+    __slots__ = (
+        "num_blocks",
+        "num_instructions",
+        "size_bytes",
+        "addresses",
+        "end_addresses",
+        "fallthrough_addresses",
+        "branch_addresses",
+        "terminators",
+        "taken_targets",
+        "is_branch",
+        "is_conditional",
+    )
+
+    def __init__(self, program) -> None:
+        blocks = program.blocks
+        n = len(blocks)
+        self.num_blocks = n
+        self.num_instructions = np.fromiter(
+            (b.num_instructions for b in blocks), dtype=np.int64, count=n
+        )
+        self.size_bytes = np.fromiter(
+            (b.size_bytes for b in blocks), dtype=np.int64, count=n
+        )
+        self.addresses = np.fromiter(
+            (b.address for b in blocks), dtype=np.int64, count=n
+        )
+        self.terminators = np.fromiter(
+            (int(b.terminator) for b in blocks), dtype=np.uint8, count=n
+        )
+        self.taken_targets = np.fromiter(
+            (
+                NO_TARGET if b.taken_target is None else b.taken_target
+                for b in blocks
+            ),
+            dtype=np.int64,
+            count=n,
+        )
+        self.end_addresses = self.addresses + self.size_bytes
+        self.fallthrough_addresses = self.end_addresses
+        # Mirrors BasicBlock.branch_address: the terminator occupies the
+        # final average-sized instruction slot of the block.
+        average_size = np.maximum(1, self.size_bytes // self.num_instructions)
+        self.branch_addresses = self.end_addresses - average_size
+        self.is_branch = self.terminators != int(BranchKind.NONE)
+        self.is_conditional = self.terminators == int(BranchKind.CONDITIONAL_DIRECT)
+
+
+def program_columns(program) -> ProgramColumns:
+    """Return (building lazily) the cached static columns of a program."""
+    cached: Optional[ProgramColumns] = getattr(program, "_repro_columns", None)
+    if cached is None:
+        cached = ProgramColumns(program)
+        program._repro_columns = cached
+    return cached
+
+
+def invalidate_program_columns(program) -> None:
+    """Drop cached columns (call after mutating block addresses/targets)."""
+    if getattr(program, "_repro_columns", None) is not None:
+        program._repro_columns = None

@@ -7,6 +7,10 @@ Execution is driven by an :class:`ExecutionSchedule`, a list of phases
 code section it belongs to, which reproduces the serial / parallel
 structure of an OpenMP or MPI+OpenMP application as seen from the first
 processing element.
+
+Events are recorded directly into the column lists the columnar
+:class:`~repro.trace.events.Trace` consumes; the event-object view
+(``ctx.events``) is synthesized on demand for tests and debugging.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.trace.columns import NO_TARGET
 from repro.trace.events import BlockEvent, Trace
 from repro.trace.instruction import CodeSection
 from repro.trace.basic_block import BasicBlock
@@ -66,16 +71,34 @@ class ExecutionContext:
         self.rng = rng
         self.max_instructions = max_instructions
         self.max_call_depth = max_call_depth
-        self.section = CodeSection.SERIAL
         self.instructions_emitted = 0
-        self.events: List[BlockEvent] = []
+        self._block_ids: List[int] = []
+        self._taken: List[bool] = []
+        self._targets: List[int] = []
+        self._section_codes: List[int] = []
         self._call_depth = 0
+        # Pattern state keyed by the owning region object itself.  The
+        # dictionary holds a strong reference to each owner, so owners
+        # cannot be garbage-collected mid-run and the keying is stable
+        # (unlike id(), whose values can be reused after collection).
         self._pattern_positions: dict = {}
+        self._section = CodeSection.SERIAL
+        self._section_code = int(CodeSection.SERIAL)
+
+    @property
+    def section(self) -> CodeSection:
+        """Code section newly emitted events are attributed to."""
+        return self._section
+
+    @section.setter
+    def section(self, value: CodeSection) -> None:
+        self._section = value
+        self._section_code = int(value)
 
     def next_pattern_index(self, owner: object, length: int) -> int:
         """Advance and return the pattern position of a patterned region."""
-        position = self._pattern_positions.get(id(owner), 0)
-        self._pattern_positions[id(owner)] = (position + 1) % length
+        position = self._pattern_positions.get(owner, 0)
+        self._pattern_positions[owner] = (position + 1) % length
         return position
 
     @property
@@ -83,9 +106,22 @@ class ExecutionContext:
         """Whether the instruction budget has been consumed."""
         return self.instructions_emitted >= self.max_instructions
 
+    @property
+    def events(self) -> List[BlockEvent]:
+        """Event-object view of what has been emitted so far."""
+        return [
+            BlockEvent(b, t, None if g == NO_TARGET else g, CodeSection(s))
+            for b, t, g, s in zip(
+                self._block_ids, self._taken, self._targets, self._section_codes
+            )
+        ]
+
     def emit(self, block: BasicBlock, taken: bool, target: Optional[int] = None) -> None:
         """Record one dynamic execution of a block."""
-        self.events.append(BlockEvent(block.block_id, taken, target, self.section))
+        self._block_ids.append(block.block_id)
+        self._taken.append(bool(taken))
+        self._targets.append(NO_TARGET if target is None else target)
+        self._section_codes.append(self._section_code)
         self.instructions_emitted += block.num_instructions
 
     def call(self, callee: Function, return_to: int) -> None:
@@ -101,6 +137,17 @@ class ExecutionContext:
         finally:
             self._call_depth -= 1
         self.emit(callee.return_block, taken=True, target=return_to)
+
+    def build_trace(self, program: Program, name: str = "") -> Trace:
+        """Wrap the emitted columns into a :class:`Trace`."""
+        return Trace.from_columns(
+            program,
+            self._block_ids,
+            self._taken,
+            self._targets,
+            self._section_codes,
+            name=name,
+        )
 
 
 class TraceGenerator:
@@ -137,7 +184,7 @@ class TraceGenerator:
                     if ctx.exhausted:
                         break
 
-        return Trace(self.program, ctx.events, name=name or self.program.name)
+        return ctx.build_trace(self.program, name=name or self.program.name)
 
     def _run_phase(self, ctx: ExecutionContext, phase: Phase) -> None:
         ctx.section = phase.section

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.trace.columns import invalidate_program_columns
 from repro.trace.instruction import TEXT_BASE_ADDRESS
 from repro.trace.program import (
     CallRegion,
@@ -44,6 +45,7 @@ def layout_program(
     _assign_addresses(program, base_address, function_alignment)
     for function in program.functions:
         _resolve_region_targets(function.body)
+    invalidate_program_columns(program)
     return program
 
 

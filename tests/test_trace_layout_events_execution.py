@@ -20,7 +20,7 @@ from repro.trace import (
 )
 from repro.trace.instruction import TEXT_BASE_ADDRESS
 
-from conftest import build_tiny_program, trace_of
+from trace_fixtures import build_tiny_program, trace_of
 
 
 class TestLayout:

@@ -1,0 +1,50 @@
+"""Hand-built tiny programs shared by the trace-layer tests.
+
+Kept in an unambiguously named module (not ``conftest``) so tests can
+import the helpers directly: ``conftest`` is also the name of the
+benchmark harness configuration, and which of the two wins the
+``sys.modules`` slot depends on collection order.
+"""
+
+from __future__ import annotations
+
+from repro.trace import (
+    CodeSection,
+    CodeRegion,
+    ExecutionSchedule,
+    FixedTripCount,
+    Function,
+    If,
+    Loop,
+    Phase,
+    Program,
+    Sequence,
+    TraceGenerator,
+    layout_program,
+)
+
+
+def build_tiny_program(loop_trips: int = 5, probability_then: float = 0.8) -> Program:
+    """A two-function program with one loop, one conditional, one call."""
+    callee = Function(name="leaf", body=CodeRegion(6))
+    body = Sequence([
+        CodeRegion(4),
+        If(probability_then, CodeRegion(3)),
+        CodeRegion(2),
+    ])
+    main_body = Sequence([
+        CodeRegion(5),
+        Loop(body, FixedTripCount(loop_trips)),
+        CodeRegion(3),
+    ])
+    main = Function(name="main", body=main_body)
+    program = Program("tiny", [main, callee])
+    return layout_program(program)
+
+
+def trace_of(program: Program, instructions: int = 2_000, seed: int = 7):
+    """Run a program's first function as a steady serial phase."""
+    schedule = ExecutionSchedule(
+        steady=[Phase(program.entry_function, CodeSection.SERIAL)]
+    )
+    return TraceGenerator(program, schedule, seed=seed).run(instructions)
