@@ -18,9 +18,16 @@ import pytest
 
 from repro.frontend.configs import BASELINE_FRONTEND
 from repro.frontend.simulation import simulate_frontend
+from repro.power import evaluate_cmp_energy
 from repro.trace.events import Trace
 from repro.trace.execution import TraceGenerator
-from repro.workloads import build_workload, get_workload
+from repro.uarch import (
+    STANDARD_CMP_CONFIGS,
+    clear_profile_cache,
+    profile_workload_frontend,
+    run_on_cmp,
+)
+from repro.workloads import build_workload, get_workload, workload_trace
 
 TRACE_LENGTHS = (60_000, 600_000)
 
@@ -85,3 +92,30 @@ def test_simulate_frontend(benchmark, instructions):
     result = benchmark(frontend)
     assert result.branch.conditional_branches > 0
     assert result.icache.accesses > 0
+
+
+@pytest.mark.parametrize("instructions", TRACE_LENGTHS)
+def test_section_v_stack(benchmark, instructions):
+    """The per-workload Section V pipeline: profile + schedule + power.
+
+    Measures one workload's front-end profile (both core flavours, all
+    sections, through the batched ``simulate_frontend_many`` engine)
+    plus the CMP runs and energy evaluation for the four Figure 10
+    chips.  The trace is pre-warmed in the shared cache and the profile
+    cache is cleared each round, so the number reflects the simulation
+    engine rather than trace generation or memoization.
+    """
+    workload = _workload()
+    workload_trace(workload.spec, instructions)  # warm the shared trace cache
+
+    def stack():
+        clear_profile_cache()
+        profile = profile_workload_frontend(workload, instructions)
+        return [
+            evaluate_cmp_energy(run_on_cmp(profile, cmp))
+            for cmp in STANDARD_CMP_CONFIGS
+        ]
+
+    results = benchmark(stack)
+    assert len(results) == len(STANDARD_CMP_CONFIGS)
+    assert all(result.energy_j > 0 for result in results)

@@ -5,6 +5,8 @@ Usage::
     repro-frontend list
     repro-frontend fig1 [--instructions N]
     repro-frontend table3
+    repro-frontend fig10 --parallel
+    repro-frontend cmpsweep --scenarios core-scaling,l2-scaling
     repro-frontend all --instructions 100000
 """
 
@@ -35,6 +37,7 @@ _EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "table3": (experiments.run_table3, experiments.format_table3),
     "fig10": (experiments.run_fig10, experiments.format_fig10),
     "fig11": (experiments.run_fig11, experiments.format_fig11),
+    "cmpsweep": (experiments.run_cmpsweep, experiments.format_cmpsweep),
 }
 
 
@@ -74,6 +77,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker process count for --parallel (default: CPU count)",
     )
+    parser.add_argument(
+        "--scenarios",
+        type=str,
+        default=None,
+        help="comma-separated sweep scenario names "
+        "(experiments that accept scenarios, e.g. cmpsweep)",
+    )
     return parser
 
 
@@ -82,14 +92,33 @@ def _run_one(
     instructions: int,
     parallel: bool = False,
     processes: Optional[int] = None,
+    scenarios: Optional[str] = None,
 ) -> str:
     runner, formatter = _EXPERIMENTS[name]
     kwargs = {}
     if _accepts(runner, "instructions"):
         kwargs["instructions"] = instructions
-    if parallel and _accepts(runner, "run_parallel"):
-        kwargs["run_parallel"] = True
-        kwargs["processes"] = processes
+    if parallel:
+        if _accepts(runner, "run_parallel"):
+            kwargs["run_parallel"] = True
+            kwargs["processes"] = processes
+        else:
+            print(
+                f"warning: --parallel ignored: experiment {name!r} "
+                "has no per-workload sweep to fan out",
+                file=sys.stderr,
+            )
+    if scenarios is not None:
+        if _accepts(runner, "scenario_names"):
+            kwargs["scenario_names"] = [
+                scenario.strip() for scenario in scenarios.split(",") if scenario.strip()
+            ]
+        else:
+            print(
+                f"warning: --scenarios ignored: experiment {name!r} "
+                "does not take sweep scenarios",
+                file=sys.stderr,
+            )
     result = runner(**kwargs)
     return formatter(result)
 
@@ -98,6 +127,18 @@ def main(argv: Optional[list] = None) -> int:
     """Entry point of the ``repro-frontend`` command."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+
+    if args.scenarios:
+        from repro.uarch.sweep import standard_scenarios
+
+        known = standard_scenarios()
+        requested = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+        unknown = [s for s in requested if s not in known]
+        if unknown:
+            parser.error(
+                f"unknown sweep scenario(s): {', '.join(unknown)}; "
+                f"expected one of {', '.join(sorted(known))}"
+            )
 
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):
@@ -117,7 +158,11 @@ def main(argv: Optional[list] = None) -> int:
 
     for name in names:
         print(f"== {name} ==")
-        print(_run_one(name, args.instructions, args.parallel, args.processes))
+        print(
+            _run_one(
+                name, args.instructions, args.parallel, args.processes, args.scenarios
+            )
+        )
         print()
     return 0
 

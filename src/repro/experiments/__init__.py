@@ -11,6 +11,7 @@ artefact to code is one-to-one (see DESIGN.md's experiment index).
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
     clear_trace_cache,
+    normalize_to_reference,
     parallel_map,
     run_sweep,
     suite_workloads,
@@ -31,6 +32,7 @@ from repro.experiments.fig09_icache_lines import run_fig09, format_fig09
 from repro.experiments.table3_area_power import run_table3, format_table3
 from repro.experiments.fig10_cmp_configs import run_fig10, format_fig10
 from repro.experiments.fig11_per_benchmark_time import run_fig11, format_fig11
+from repro.experiments.cmp_sweep import run_cmpsweep, format_cmpsweep
 
 __all__ = [
     "DEFAULT_EXPERIMENT_INSTRUCTIONS",
@@ -38,6 +40,7 @@ __all__ = [
     "workload_trace",
     "clear_trace_cache",
     "trace_cache_info",
+    "normalize_to_reference",
     "parallel_map",
     "run_sweep",
     "run_fig01", "format_fig01",
@@ -54,4 +57,5 @@ __all__ = [
     "run_table3", "format_table3",
     "run_fig10", "format_fig10",
     "run_fig11", "format_fig11",
+    "run_cmpsweep", "format_cmpsweep",
 ]

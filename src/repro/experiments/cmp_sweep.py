@@ -1,0 +1,142 @@
+"""CMP scenario sweeps: arbitrary configuration grids over the workloads.
+
+Generalizes the Section V comparison (Figures 10/11) into named
+scenarios of :class:`~repro.uarch.sweep.SweepScenario` grids -- core
+counts from 1 to 64, baseline/tailored/asymmetric mixes, private-L2
+sizes -- evaluated with exactly the same profile -> schedule -> power
+pipeline as the paper's four chips.  Exposed on the CLI as
+``repro-frontend cmpsweep``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    format_table,
+    mean,
+    normalize_to_reference,
+    run_sweep,
+    suite_workloads,
+)
+from repro.power.cmp_power import evaluate_cmp_energy
+from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
+from repro.uarch.sweep import SweepScenario, get_scenario, standard_scenarios
+from repro.workloads.suites import Suite
+
+#: Metrics reported per scenario grid point.
+SWEEP_METRICS = ("time", "power", "energy")
+
+#: Workloads the sweep evaluates by default: the Figure 11 selection (a
+#: representative HPC/desktop mix) keeps full grids tractable; pass
+#: ``workloads=`` or ``suites=`` for broader coverage.
+DEFAULT_SWEEP_WORKLOADS = ("CoEVP", "CoMD", "fma3d", "FT", "h264ref", "gobmk")
+
+
+@dataclass
+class CmpSweepResult:
+    """Normalized metrics for every scenario grid point and workload."""
+
+    instructions: int
+    scenarios: List[SweepScenario] = field(default_factory=list)
+    workloads: List[str] = field(default_factory=list)
+    #: scenario name -> workload -> metric -> cmp name -> normalized value
+    per_workload: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = field(
+        default_factory=dict
+    )
+    #: scenario name -> metric -> cmp name -> workload-mean normalized value
+    summary: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+
+def _sweep_workload(args) -> Dict[str, Dict[str, float]]:
+    """Per-workload worker: normalized metrics on one scenario grid."""
+    spec, instructions, cmps = args
+    profile = profile_workload_frontend(spec, instructions)
+    absolute: Dict[str, Dict[str, float]] = {metric: {} for metric in SWEEP_METRICS}
+    for cmp in cmps:
+        run = run_on_cmp(profile, cmp)
+        energy = evaluate_cmp_energy(run)
+        absolute["time"][cmp.name] = run.execution_seconds
+        absolute["power"][cmp.name] = energy.average_power_w
+        absolute["energy"][cmp.name] = energy.energy_j
+    reference = cmps[0].name
+    return {
+        metric: normalize_to_reference(values, reference)
+        for metric, values in absolute.items()
+    }
+
+
+def run_cmpsweep(
+    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    scenarios: Optional[Sequence[SweepScenario]] = None,
+    scenario_names: Optional[Sequence[str]] = None,
+    workloads: Optional[Sequence[str]] = None,
+    suites: Optional[Sequence[Suite]] = None,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
+) -> CmpSweepResult:
+    """Evaluate CMP sweep scenarios over a workload selection.
+
+    ``scenarios`` takes explicit :class:`SweepScenario` objects;
+    ``scenario_names`` selects built-ins by name (both default to every
+    built-in scenario).  Workload profiles are shared across scenarios
+    through the process-wide trace/profile caches, so adding a scenario
+    only adds the (cheap) scheduling and power arithmetic.  With
+    ``run_parallel`` the per-workload evaluation fans out across worker
+    processes.
+    """
+    if scenarios is None:
+        if scenario_names is None:
+            scenarios = list(standard_scenarios().values())
+        else:
+            scenarios = [get_scenario(name) for name in scenario_names]
+    else:
+        scenarios = list(scenarios)
+    if workloads is None and suites is None:
+        workloads = DEFAULT_SWEEP_WORKLOADS
+    specs = suite_workloads(suites=suites, names=workloads)
+
+    result = CmpSweepResult(
+        instructions=instructions,
+        scenarios=scenarios,
+        workloads=[spec.name for spec in specs],
+    )
+    for scenario in scenarios:
+        arguments = [(spec, instructions, scenario.cmps) for spec in specs]
+        rows = run_sweep(_sweep_workload, arguments, run_parallel, processes)
+        per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for spec, normalized in zip(specs, rows):
+            per_workload[spec.name] = normalized
+        result.per_workload[scenario.name] = per_workload
+        result.summary[scenario.name] = {
+            metric: {
+                cmp.name: mean(
+                    per_workload[spec.name][metric][cmp.name] for spec in specs
+                )
+                for cmp in scenario.cmps
+            }
+            for metric in SWEEP_METRICS
+        }
+    return result
+
+
+def format_cmpsweep(result: CmpSweepResult) -> str:
+    """Render one normalized time/power/energy table per scenario."""
+    blocks: List[str] = []
+    for scenario in result.scenarios:
+        headers = ["configuration"] + list(SWEEP_METRICS)
+        rows: List[List[str]] = []
+        summary = result.summary[scenario.name]
+        for cmp in scenario.cmps:
+            rows.append(
+                [cmp.name]
+                + [f"{summary[metric][cmp.name]:.3f}" for metric in SWEEP_METRICS]
+            )
+        table = format_table(headers, rows)
+        blocks.append(
+            f"scenario {scenario.name}: {scenario.description}\n"
+            f"(workload-mean, normalized to {scenario.reference.name})\n{table}"
+        )
+    return "\n\n".join(blocks)

@@ -1,177 +1,38 @@
-"""Shared plumbing for the experiment drivers."""
+"""Shared plumbing for the experiment drivers.
+
+The workload-trace cache itself lives in
+:mod:`repro.workloads.trace_cache` (so the uarch layer can share it
+without a layering cycle); this module re-exports it together with the
+sweep helpers (:func:`run_sweep`, :func:`parallel_map`), the workload
+selection helpers, and small formatting utilities.
+"""
 
 from __future__ import annotations
 
-import hashlib
 import multiprocessing
 import os
-import threading
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
-import numpy as np
-
-from repro.trace.columns import program_columns
-from repro.trace.events import Trace
 from repro.trace.instruction import CodeSection
 from repro.workloads.catalog import WORKLOADS, get_workload, workloads_in_suite
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.suites import SUITE_ORDER, Suite
-from repro.workloads.synthesis import SyntheticWorkload, build_workload
+from repro.workloads.trace_cache import (
+    DEFAULT_PROFILE_INSTRUCTIONS,
+    TRACE_CACHE_DIR_VARIABLE,
+    TRACE_CACHE_VERSION,
+    clear_trace_cache,
+    trace_cache_info,
+    workload_trace,
+)
 
-#: Default dynamic trace length used by the experiment drivers.  Scaled
-#: down from the paper's multi-billion-instruction runs so the full
-#: 41-workload sweeps finish in minutes on a laptop; every ``run_*``
-#: function accepts an ``instructions`` override.
-DEFAULT_EXPERIMENT_INSTRUCTIONS = 150_000
+#: Default dynamic trace length used by the experiment drivers (alias
+#: of the trace-cache default so both layers agree on what a cached
+#: "experiment length" trace is).
+DEFAULT_EXPERIMENT_INSTRUCTIONS = DEFAULT_PROFILE_INSTRUCTIONS
 
 #: The sections reported by the per-suite figures, in bar order.
 SECTION_ORDER = (CodeSection.TOTAL, CodeSection.SERIAL, CodeSection.PARALLEL)
-
-#: Directory for the optional on-disk trace cache.  When set, generated
-#: trace columns are persisted as ``.npz`` files so separate driver
-#: *processes* (each CLI invocation is one) share traces too.
-TRACE_CACHE_DIR_VARIABLE = "REPRO_TRACE_CACHE_DIR"
-
-#: Version salt folded into the disk-cache fingerprint.  Bump when the
-#: trace *generation* semantics change in a way the static-layout
-#: fingerprint cannot see (e.g. executor or schedule behaviour).
-TRACE_CACHE_VERSION = 1
-
-#: Process-wide trace cache: (workload name, instructions, seed) -> Trace.
-_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
-_TRACE_CACHE_LOCK = threading.Lock()
-_TRACE_CACHE_STATS = {"hits": 0, "misses": 0}
-
-
-def workload_trace(
-    spec: WorkloadSpec,
-    instructions: Optional[int] = None,
-    seed: int = 0,
-) -> Trace:
-    """Build (or reuse) the synthetic workload and return its trace.
-
-    Traces are cached process-wide, keyed by ``(spec.name,
-    instructions, seed)``, so the experiment drivers share one trace
-    per workload instead of each regenerating all of them.  Repeated
-    calls with the same key return the *same* object.  Set the
-    ``REPRO_TRACE_CACHE_DIR`` environment variable to also persist
-    trace columns on disk and share them across driver processes.
-    """
-    if instructions is None:
-        instructions = DEFAULT_EXPERIMENT_INSTRUCTIONS
-    key = (spec.name, int(instructions), int(seed))
-    with _TRACE_CACHE_LOCK:
-        cached = _TRACE_CACHE.get(key)
-        if cached is not None:
-            _TRACE_CACHE_STATS["hits"] += 1
-            return cached
-        _TRACE_CACHE_STATS["misses"] += 1
-
-    trace = _load_trace_from_disk(spec, key)
-    if trace is None:
-        workload: SyntheticWorkload = build_workload(spec)
-        trace = workload.trace(int(instructions), seed=seed)
-        _store_trace_to_disk(trace, key)
-    with _TRACE_CACHE_LOCK:
-        _TRACE_CACHE[key] = trace
-    return trace
-
-
-def clear_trace_cache() -> None:
-    """Drop every cached trace (mainly for tests and memory pressure).
-
-    Also clears the workload-builder cache underneath, which holds the
-    built programs and their per-workload trace dictionaries; without
-    that, the traces would stay strongly referenced and the next
-    "miss" would silently return the same objects.
-    """
-    with _TRACE_CACHE_LOCK:
-        _TRACE_CACHE.clear()
-        _TRACE_CACHE_STATS["hits"] = 0
-        _TRACE_CACHE_STATS["misses"] = 0
-    build_workload.cache_clear()
-
-
-def trace_cache_info() -> Dict[str, int]:
-    """Hit/miss/size counters of the process-wide trace cache."""
-    with _TRACE_CACHE_LOCK:
-        return {
-            "hits": _TRACE_CACHE_STATS["hits"],
-            "misses": _TRACE_CACHE_STATS["misses"],
-            "entries": len(_TRACE_CACHE),
-        }
-
-
-def _disk_cache_path(key: Tuple[str, int, int]) -> Optional[str]:
-    directory = os.environ.get(TRACE_CACHE_DIR_VARIABLE, "")
-    if not directory:
-        return None
-    name, instructions, seed = key
-    return os.path.join(directory, f"{name}-{instructions}-{seed}.npz")
-
-
-def _program_fingerprint(program) -> str:
-    """Digest of the laid-out static program a cached trace refers to.
-
-    Guards the disk cache against synthesis or layout changes: any
-    difference in block addresses, sizes, instruction counts,
-    terminators, or static targets invalidates the entry.  Generation
-    changes invisible to the static layout (branch probabilities,
-    executor behaviour) are covered by bumping
-    :data:`TRACE_CACHE_VERSION`.
-    """
-    columns = program_columns(program)
-    digest = hashlib.sha1(f"v{TRACE_CACHE_VERSION}:".encode())
-    for array in (
-        columns.addresses,
-        columns.size_bytes,
-        columns.num_instructions,
-        columns.terminators,
-        columns.taken_targets,
-    ):
-        digest.update(np.ascontiguousarray(array).tobytes())
-    return digest.hexdigest()
-
-
-def _load_trace_from_disk(
-    spec: WorkloadSpec, key: Tuple[str, int, int]
-) -> Optional[Trace]:
-    path = _disk_cache_path(key)
-    if path is None or not os.path.exists(path):
-        return None
-    try:
-        with np.load(path) as archive:
-            columns = (
-                archive["block_ids"],
-                archive["taken"],
-                archive["targets"],
-                archive["sections"],
-            )
-            fingerprint = str(archive["fingerprint"])
-    except Exception:
-        return None  # Corrupt or stale entry: fall back to regeneration.
-    program = build_workload(spec).program
-    if fingerprint != _program_fingerprint(program):
-        return None  # Synthesis/layout changed; the cached columns are stale.
-    return Trace.from_columns(program, *columns, name=spec.name)
-
-
-def _store_trace_to_disk(trace: Trace, key: Tuple[str, int, int]) -> None:
-    path = _disk_cache_path(key)
-    if path is None:
-        return
-    try:
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        np.savez_compressed(
-            path,
-            block_ids=trace.block_ids,
-            taken=trace.taken_column,
-            targets=trace.target_column,
-            sections=trace.section_column,
-            fingerprint=np.str_(_program_fingerprint(trace.program)),
-        )
-    except OSError:
-        pass  # Disk cache is best-effort.
 
 
 def parallel_map(
@@ -247,6 +108,21 @@ def mean(values: Iterable[float]) -> float:
     if not values:
         return 0.0
     return sum(values) / len(values)
+
+
+def normalize_to_reference(
+    values: Mapping[str, float], reference: str
+) -> Dict[str, float]:
+    """Normalize a name->value mapping to one reference entry.
+
+    Used by every CMP comparison (Figures 10/11 and the ``cmpsweep``
+    scenarios) so they share one zero-guard: a zero (or missing-as-zero)
+    reference yields all-zero ratios instead of a division error.
+    """
+    scale = values[reference]
+    return {
+        name: (value / scale if scale else 0.0) for name, value in values.items()
+    }
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

@@ -15,20 +15,30 @@ from repro.experiments.common import (
 )
 from repro.frontend.predictors import make_predictor
 from repro.frontend.predictors.factory import predictor_configurations
-from repro.frontend.simulation import simulate_branch_predictor
+from repro.frontend.simulation import simulate_branch_predictors
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import SUITE_ORDER, Suite
 
 
 def _workload_mpki(args) -> Dict[str, float]:
-    """Per-workload worker: all predictor configurations on one trace."""
+    """Per-workload worker: all predictor configurations on one trace.
+
+    The nine predictors run through the batched
+    :func:`simulate_branch_predictors`, which decodes the conditional
+    stream once and reuses it for every configuration.
+    """
     spec, instructions, section = args
     trace = workload_trace(spec, instructions)
-    mpki: Dict[str, float] = {}
-    for label, kind, budget, with_loop in predictor_configurations():
-        predictor = make_predictor(kind, budget, with_loop)
-        mpki[label] = simulate_branch_predictor(trace, predictor, section).mpki
-    return mpki
+    configurations = predictor_configurations()
+    predictors = [
+        make_predictor(kind, budget, with_loop)
+        for _, kind, budget, with_loop in configurations
+    ]
+    results = simulate_branch_predictors(trace, predictors, section)
+    return {
+        label: result.mpki
+        for (label, _, _, _), result in zip(configurations, results)
+    }
 
 
 @dataclass

@@ -16,7 +16,7 @@ from repro.experiments.common import (
     workload_trace,
 )
 from repro.frontend.predictors import make_predictor
-from repro.frontend.simulation import simulate_branch_predictor
+from repro.frontend.simulation import simulate_branch_predictors
 
 #: The benchmarks shown in Figure 6 of the paper.
 FIGURE6_WORKLOADS = (
@@ -57,11 +57,15 @@ def run_fig06(
     result = Fig06Result(instructions=instructions, workloads=names)
     for spec in suite_workloads(names=names):
         trace = workload_trace(spec, instructions)
-        result.breakdown[spec.name] = {}
-        for label, kind, budget, with_loop in FIGURE6_CONFIGS:
-            predictor = make_predictor(kind, budget, with_loop)
-            outcome = simulate_branch_predictor(trace, predictor)
-            result.breakdown[spec.name][label] = outcome.breakdown_mpki()
+        predictors = [
+            make_predictor(kind, budget, with_loop)
+            for _, kind, budget, with_loop in FIGURE6_CONFIGS
+        ]
+        outcomes = simulate_branch_predictors(trace, predictors)
+        result.breakdown[spec.name] = {
+            label: outcome.breakdown_mpki()
+            for (label, _, _, _), outcome in zip(FIGURE6_CONFIGS, outcomes)
+        }
     return result
 
 

@@ -9,13 +9,14 @@ from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
     format_table,
     mean,
+    normalize_to_reference,
+    run_sweep,
     suite_workloads,
 )
 from repro.power.cmp_power import evaluate_cmp_energy
 from repro.uarch.cmp import STANDARD_CMP_CONFIGS, CmpConfig
 from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
 from repro.workloads.suites import SUITE_ORDER, Suite
-from repro.workloads.synthesis import build_workload
 
 #: Metrics reported by Figure 10, in subplot order.
 FIG10_METRICS = ("execution time", "power", "energy", "energy-delay")
@@ -33,12 +34,15 @@ class Fig10Result:
     per_workload: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
 
 
-def _evaluate_workload(
-    spec, instructions: int, cmps: Sequence[CmpConfig]
-) -> Dict[str, Dict[str, float]]:
-    """Normalized metrics of one workload on every CMP configuration."""
-    workload = build_workload(spec)
-    profile = profile_workload_frontend(workload, instructions)
+def _evaluate_workload(args) -> Dict[str, Dict[str, float]]:
+    """Per-workload worker: normalized metrics on every CMP configuration.
+
+    The front-end profile comes from the shared trace/profile caches
+    (see :func:`repro.uarch.simulator.profile_workload_frontend`), so a
+    warm in-process run re-simulates nothing.
+    """
+    spec, instructions, cmps = args
+    profile = profile_workload_frontend(spec, instructions)
     absolute: Dict[str, Dict[str, float]] = {metric: {} for metric in FIG10_METRICS}
     for cmp in cmps:
         run = run_on_cmp(profile, cmp)
@@ -48,32 +52,36 @@ def _evaluate_workload(
         absolute["energy"][cmp.name] = energy.energy_j
         absolute["energy-delay"][cmp.name] = energy.energy_delay
     baseline_name = cmps[0].name
-    normalized: Dict[str, Dict[str, float]] = {}
-    for metric, values in absolute.items():
-        reference = values[baseline_name]
-        normalized[metric] = {
-            name: (value / reference if reference else 0.0)
-            for name, value in values.items()
-        }
-    return normalized
+    return {
+        metric: normalize_to_reference(values, baseline_name)
+        for metric, values in absolute.items()
+    }
 
 
 def run_fig10(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     suites: Optional[Sequence[Suite]] = None,
     cmps: Sequence[CmpConfig] = STANDARD_CMP_CONFIGS,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Fig10Result:
-    """Regenerate the Figure 10 data."""
+    """Regenerate the Figure 10 data.
+
+    With ``run_parallel`` the per-workload evaluation (trace, front-end
+    profile, all CMP runs) fans out across worker processes.
+    """
+    cmps = tuple(cmps)
     result = Fig10Result(
         instructions=instructions, cmp_names=[cmp.name for cmp in cmps]
     )
     for suite in suites or SUITE_ORDER:
         specs = suite_workloads(suites=[suite])
+        arguments = [(spec, instructions, cmps) for spec in specs]
+        rows = run_sweep(_evaluate_workload, arguments, run_parallel, processes)
         per_metric: Dict[str, Dict[str, List[float]]] = {
             metric: {cmp.name: [] for cmp in cmps} for metric in FIG10_METRICS
         }
-        for spec in specs:
-            normalized = _evaluate_workload(spec, instructions, cmps)
+        for spec, normalized in zip(specs, rows):
             result.per_workload[spec.name] = normalized
             for metric in FIG10_METRICS:
                 for cmp in cmps:

@@ -8,11 +8,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
     format_table,
+    normalize_to_reference,
+    run_sweep,
     suite_workloads,
 )
 from repro.uarch.cmp import STANDARD_CMP_CONFIGS, CmpConfig
 from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
-from repro.workloads.synthesis import build_workload
 
 #: The benchmarks shown in Figure 11 of the paper.
 FIGURE11_WORKLOADS = ("CoEVP", "CoMD", "fma3d", "FT", "h264ref", "gobmk")
@@ -29,26 +30,42 @@ class Fig11Result:
     normalized_time: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
+def _evaluate_workload_time(args) -> Dict[str, float]:
+    """Per-workload worker: normalized execution time per CMP.
+
+    Shares the trace/profile caches with Figure 10, so running fig11
+    after fig10 (or twice) re-simulates nothing in-process.
+    """
+    spec, instructions, cmps = args
+    profile = profile_workload_frontend(spec, instructions)
+    times = {cmp.name: run_on_cmp(profile, cmp).execution_seconds for cmp in cmps}
+    return normalize_to_reference(times, cmps[0].name)
+
+
 def run_fig11(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     workloads: Optional[Sequence[str]] = None,
     cmps: Sequence[CmpConfig] = STANDARD_CMP_CONFIGS,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Fig11Result:
-    """Regenerate the Figure 11 data."""
+    """Regenerate the Figure 11 data.
+
+    With ``run_parallel`` the per-workload evaluation fans out across
+    worker processes.
+    """
+    cmps = tuple(cmps)
     names = list(workloads or FIGURE11_WORKLOADS)
     result = Fig11Result(
         instructions=instructions,
         cmp_names=[cmp.name for cmp in cmps],
         workloads=names,
     )
-    for spec in suite_workloads(names=names):
-        workload = build_workload(spec)
-        profile = profile_workload_frontend(workload, instructions)
-        times = {cmp.name: run_on_cmp(profile, cmp).execution_seconds for cmp in cmps}
-        reference = times[cmps[0].name]
-        result.normalized_time[spec.name] = {
-            name: time / reference for name, time in times.items()
-        }
+    specs = suite_workloads(names=names)
+    arguments = [(spec, instructions, cmps) for spec in specs]
+    rows = run_sweep(_evaluate_workload_time, arguments, run_parallel, processes)
+    for spec, normalized in zip(specs, rows):
+        result.normalized_time[spec.name] = normalized
     return result
 
 

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, run_sweep
 from repro.frontend.predictors import make_predictor
 from repro.frontend.predictors.factory import PREDICTOR_KINDS, SIZE_PARAMETERS
 
@@ -25,14 +25,32 @@ class Table2Result:
         return self.storage_bits[(kind, budget)] / 8192.0
 
 
-def run_table2() -> Table2Result:
-    """Regenerate the Table II data from the predictor implementations."""
+def _predictor_cost(args) -> Tuple[Tuple[str, str], int, Dict[str, int]]:
+    """Per-configuration worker: storage bits and size parameters."""
+    kind, budget = args
+    predictor = make_predictor(kind, budget)
+    return (kind, budget), predictor.storage_bits(), dict(SIZE_PARAMETERS[(kind, budget)])
+
+
+def run_table2(
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
+) -> Table2Result:
+    """Regenerate the Table II data from the predictor implementations.
+
+    With ``run_parallel`` the per-configuration sizing fans out across
+    worker processes (cheap, but it keeps the ``--parallel`` contract
+    uniform across every experiment).
+    """
     result = Table2Result()
-    for kind in PREDICTOR_KINDS:
-        for budget in ("small", "big"):
-            predictor = make_predictor(kind, budget)
-            result.storage_bits[(kind, budget)] = predictor.storage_bits()
-            result.parameters[(kind, budget)] = dict(SIZE_PARAMETERS[(kind, budget)])
+    arguments = [
+        (kind, budget) for kind in PREDICTOR_KINDS for budget in ("small", "big")
+    ]
+    for key, bits, parameters in run_sweep(
+        _predictor_cost, arguments, run_parallel, processes
+    ):
+        result.storage_bits[key] = bits
+        result.parameters[key] = parameters
     loop_augmented = make_predictor("gshare", "small", with_loop=True)
     plain = make_predictor("gshare", "small")
     result.loop_predictor_bits = loop_augmented.storage_bits() - plain.storage_bits()

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, run_sweep
 from repro.power.core_power import CoreAreaPower, core_area_power
-from repro.uarch.core import BASELINE_CORE, TAILORED_CORE
+from repro.uarch.core import BASELINE_CORE, TAILORED_CORE, CoreModel
 
 #: The paper's Table III values (40nm, McPAT + CACTI) for comparison.
 PAPER_TABLE3 = {
@@ -47,11 +47,26 @@ class Table3Result:
         )
 
 
-def run_table3() -> Table3Result:
-    """Regenerate Table III from the area/power models."""
+def _core_budget(core: CoreModel) -> Tuple[str, CoreAreaPower]:
+    """Per-core worker: evaluate one flavour's area/power budget."""
+    return core.name, core_area_power(core)
+
+
+def run_table3(
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
+) -> Table3Result:
+    """Regenerate Table III from the area/power models.
+
+    With ``run_parallel`` the per-core evaluation fans out across
+    worker processes (cheap, but it keeps the ``--parallel`` contract
+    uniform across every experiment).
+    """
     result = Table3Result()
-    for core in (BASELINE_CORE, TAILORED_CORE):
-        result.cores[core.name] = core_area_power(core)
+    for name, budget in run_sweep(
+        _core_budget, (BASELINE_CORE, TAILORED_CORE), run_parallel, processes
+    ):
+        result.cores[name] = budget
     return result
 
 

@@ -19,7 +19,7 @@ from repro.frontend.predictors.loop import LoopPredictor
 class PredictorWithLoop(BranchPredictor):
     """Hybrid of a base direction predictor and a loop predictor."""
 
-    def __init__(self, base: BranchPredictor, loop: LoopPredictor = None) -> None:
+    def __init__(self, base: BranchPredictor, loop: Optional[LoopPredictor] = None) -> None:
         self.base = base
         self.loop = loop if loop is not None else LoopPredictor()
         self.name = f"L-{base.name}"

@@ -8,8 +8,9 @@ optionally restricted to the serial or parallel code section.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -241,3 +242,165 @@ def simulate_frontend(
         btb=btb,
         icache=icache,
     )
+
+
+class _SectionStreams:
+    """The decoded input streams of one trace section, gathered once.
+
+    Holds exactly the arrays the three structure simulators consume --
+    the conditional-branch stream (direction prediction), the
+    taken-non-return stream (BTB lookups), and the fetched line ranges
+    (I-cache) -- so a batch over many configurations pays the masked
+    gathers once instead of once per configuration.  The BTB and line
+    streams are decoded lazily, so predictor-only batches
+    (:func:`simulate_branch_predictors`) never gather them.
+    """
+
+    def __init__(self, trace: Trace, section: CodeSection) -> None:
+        self._trace = trace
+        self.section = section
+        self.instruction_count = trace.instruction_count(section)
+        self._columns = trace.branch_columns(section)
+
+        conditional = self._columns.is_conditional
+        self.cond_addresses = self._columns.addresses[conditional]
+        self.cond_taken = self._columns.taken[conditional]
+        self.cond_targets = self._columns.targets[conditional]
+        self.cond_backward = (self.cond_targets >= 0) & (
+            self.cond_targets < self.cond_addresses
+        )
+        self.conditional_count = int(self.cond_addresses.shape[0])
+
+    @functools.cached_property
+    def _btb_stream(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Addresses and targets of the taken non-return branches."""
+        columns = self._columns
+        mask = columns.taken & (columns.targets >= 0)
+        mask &= columns.kinds != int(BranchKind.RETURN)
+        return columns.addresses[mask], columns.targets[mask]
+
+    @functools.cached_property
+    def _line_stream(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Start addresses and byte sizes of the fetched block ranges."""
+        block_ids, _, _, _ = self._trace.event_columns(self.section)
+        static = program_columns(self._trace.program)
+        return static.addresses[block_ids], static.size_bytes[block_ids]
+
+    def run_predictor(self, predictor: BranchPredictor) -> BranchPredictionResult:
+        """Run one direction predictor over the shared conditional stream."""
+        predictions = predictor.simulate_sequence(
+            self.cond_addresses, self.cond_taken, self.cond_targets
+        )
+        wrong = predictions != self.cond_taken
+        mispredictions = int(np.count_nonzero(wrong))
+        miss_not_taken = int(np.count_nonzero(wrong & ~self.cond_taken))
+        miss_taken_backward = int(
+            np.count_nonzero(wrong & self.cond_taken & self.cond_backward)
+        )
+        return BranchPredictionResult(
+            predictor_name=predictor.name,
+            section=self.section,
+            instruction_count=self.instruction_count,
+            conditional_branches=self.conditional_count,
+            mispredictions=mispredictions,
+            mispredicted_not_taken=miss_not_taken,
+            mispredicted_taken_backward=miss_taken_backward,
+            mispredicted_taken_forward=(
+                mispredictions - miss_not_taken - miss_taken_backward
+            ),
+        )
+
+    def run_btb(self, btb: BranchTargetBuffer) -> BTBResult:
+        """Run one BTB over the shared taken-branch stream."""
+        addresses, targets = self._btb_stream
+        misses = btb.access_sequence(addresses, targets)
+        return BTBResult(
+            entries=btb.entries,
+            associativity=btb.associativity,
+            section=self.section,
+            instruction_count=self.instruction_count,
+            taken_branches=int(addresses.shape[0]),
+            misses=misses,
+        )
+
+    def run_icache(self, cache: InstructionCache) -> ICacheResult:
+        """Run one I-cache over the shared fetched-line stream."""
+        addresses, sizes = self._line_stream
+        misses = cache.fetch_ranges(addresses, sizes)
+        return ICacheResult(
+            size_bytes=cache.size_bytes,
+            line_bytes=cache.line_bytes,
+            associativity=cache.associativity,
+            section=self.section,
+            instruction_count=self.instruction_count,
+            accesses=cache.accesses,
+            misses=misses,
+        )
+
+
+def simulate_branch_predictors(
+    trace: Trace,
+    predictors: Sequence[BranchPredictor],
+    section: CodeSection = CodeSection.TOTAL,
+) -> List[BranchPredictionResult]:
+    """Measure many direction predictors on one trace section.
+
+    The conditional-branch stream is decoded **once** and every
+    predictor runs over the shared columnar view, so an N-configuration
+    sweep (Figures 5/6) pays one set of masked gathers instead of N.
+    Results are bit-identical to calling
+    :func:`simulate_branch_predictor` per predictor.
+    """
+    streams = _SectionStreams(trace, section)
+    return [streams.run_predictor(predictor) for predictor in predictors]
+
+
+def simulate_frontend_many(
+    trace: Trace,
+    configs: Sequence[FrontEndConfig],
+    sections: Sequence[CodeSection] = (CodeSection.TOTAL,),
+) -> Dict[Tuple[str, CodeSection], FrontEndResult]:
+    """Simulate many front-end configurations over one trace, batched.
+
+    This is the multi-configuration engine: per section, the branch and
+    fetched-line streams are decoded **once** (one set of masked
+    gathers) and every configuration's predictor, BTB, and I-cache run
+    over the shared columnar views.  Identical sub-configurations
+    (e.g. two front-ends sharing one BTB geometry) are simulated once
+    and their result object reused, since the simulations are
+    deterministic functions of (geometry, stream).
+
+    Returns ``(config.name, section) -> FrontEndResult``; every result
+    is bit-identical to a per-config :func:`simulate_frontend` call
+    (asserted in the test suite).
+    """
+    results: Dict[Tuple[str, CodeSection], FrontEndResult] = {}
+    predictor_memo: Dict[tuple, BranchPredictionResult] = {}
+    btb_memo: Dict[tuple, BTBResult] = {}
+    icache_memo: Dict[tuple, ICacheResult] = {}
+    for section in sections:
+        streams = _SectionStreams(trace, section)
+        for config in configs:
+            predictor_key = (config.predictor, section)
+            branch = predictor_memo.get(predictor_key)
+            if branch is None:
+                branch = streams.run_predictor(config.predictor.build())
+                predictor_memo[predictor_key] = branch
+            btb_key = (config.btb, section)
+            btb = btb_memo.get(btb_key)
+            if btb is None:
+                btb = streams.run_btb(config.btb.build())
+                btb_memo[btb_key] = btb
+            icache_key = (config.icache, section)
+            icache = icache_memo.get(icache_key)
+            if icache is None:
+                icache = streams.run_icache(config.icache.build())
+                icache_memo[icache_key] = icache
+            results[(config.name, section)] = FrontEndResult(
+                config_name=config.name,
+                section=section,
+                branch=branch,
+                btb=btb,
+                icache=icache,
+            )
+    return results

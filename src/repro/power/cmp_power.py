@@ -12,10 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.power.core_power import (
-    L2_AREA_MM2,
-    L2_POWER_W,
     CoreAreaPower,
     core_area_power,
+    l2_area_mm2,
+    l2_power_w,
 )
 from repro.uarch.cmp import CmpConfig
 from repro.uarch.simulator import CmpRunResult
@@ -51,7 +51,7 @@ def cmp_area_mm2(cmp: CmpConfig, include_l2: bool = True) -> float:
     ``include_l2=False`` returns.
     """
     area = 0.0
-    l2_area = L2_AREA_MM2 if include_l2 else 0.0
+    l2_area = l2_area_mm2(cmp.l2_kb_per_core) if include_l2 else 0.0
     for core, count in cmp.worker_cores:
         core_budget = core_area_power(core)
         area += count * (core_budget.total_area_mm2 + l2_area)
@@ -65,12 +65,13 @@ def evaluate_cmp_energy(run: CmpRunResult) -> CmpEnergyResult:
         raise ValueError("execution time must be positive")
 
     total_energy = 0.0
+    l2_slice_power = l2_power_w(run.cmp.l2_kb_per_core)
     for activity in run.activities:
         budget: CoreAreaPower = core_area_power(activity.core)
         busy = min(activity.busy_seconds_per_core, execution)
         idle = execution - busy
         per_core_energy = budget.active_power_w * busy + budget.idle_power_w * idle
-        l2_energy = L2_POWER_W * execution
+        l2_energy = l2_slice_power * execution
         total_energy += activity.count * (per_core_energy + l2_energy)
 
     return CmpEnergyResult(

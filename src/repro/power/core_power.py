@@ -39,9 +39,36 @@ NOMINAL_INSTRUCTIONS_PER_SECOND = 1.6e9
 IDLE_POWER_FRACTION = 0.35
 
 #: Private L2 cache per core (area/power included in the CMP budget the
-#: paper analyses: "cores and L2 caches").
+#: paper analyses: "cores and L2 caches").  The constants are the
+#: paper's 256KB slice; other slice sizes scale through
+#: :func:`l2_area_mm2` / :func:`l2_power_w`.
+L2_REFERENCE_KB = 256
 L2_AREA_MM2 = 1.10
 L2_POWER_W = 0.12
+
+#: Share of the reference L2 power that scales with capacity (leakage
+#: and the data array); the rest (tags, control, bus) is treated as
+#: size-independent.
+_L2_CAPACITY_POWER_SHARE = 0.6
+
+
+def l2_area_mm2(l2_kb: int = L2_REFERENCE_KB) -> float:
+    """Area of one private L2 slice; SRAM area scales with capacity."""
+    return L2_AREA_MM2 * (l2_kb / L2_REFERENCE_KB)
+
+
+def l2_power_w(l2_kb: int = L2_REFERENCE_KB) -> float:
+    """Power of one private L2 slice.
+
+    The capacity-proportional share (leakage, data array) scales with
+    the slice size; the fixed share does not.  At the reference 256KB
+    this returns exactly :data:`L2_POWER_W`, keeping every existing
+    Figure 10 result bit-identical.
+    """
+    ratio = l2_kb / L2_REFERENCE_KB
+    return L2_POWER_W * (
+        (1.0 - _L2_CAPACITY_POWER_SHARE) + _L2_CAPACITY_POWER_SHARE * ratio
+    )
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 #: Area per storage bit (mm^2) including cell and local wiring, 40nm.
 AREA_PER_BIT_MM2 = 1.02e-6
@@ -76,7 +77,7 @@ class SramArray:
 
 
 def sram_for_icache(
-    size_bytes: int, line_bytes: int, accesses_per_instruction: float = None
+    size_bytes: int, line_bytes: int, accesses_per_instruction: Optional[float] = None
 ) -> SramArray:
     """Model an instruction cache (data plus tag array).
 

@@ -27,8 +27,20 @@ from repro.uarch.simulator import (
     CmpRunResult,
     CoreActivity,
     WorkloadFrontendProfile,
+    clear_profile_cache,
+    profile_cache_info,
     profile_workload_frontend,
     run_on_cmp,
+)
+from repro.uarch.sweep import (
+    SweepScenario,
+    cmp_grid,
+    core_scaling_scenario,
+    get_scenario,
+    l2_scaling_scenario,
+    mix_config,
+    paper_scenario,
+    standard_scenarios,
 )
 
 __all__ = [
@@ -48,4 +60,14 @@ __all__ = [
     "CoreActivity",
     "CmpRunResult",
     "run_on_cmp",
+    "clear_profile_cache",
+    "profile_cache_info",
+    "SweepScenario",
+    "cmp_grid",
+    "mix_config",
+    "paper_scenario",
+    "core_scaling_scenario",
+    "l2_scaling_scenario",
+    "standard_scenarios",
+    "get_scenario",
 ]

@@ -1,7 +1,10 @@
 """Workload execution on a CMP (the Sniper-substitute driver).
 
 ``profile_workload_frontend`` measures, once per core flavour and code
-section, the front-end miss rates of a workload's trace;
+section, the front-end miss rates of a workload's trace (pulled from
+the shared :mod:`repro.workloads.trace_cache` and simulated with the
+batched multi-configuration engine -- see the function docstring for
+the cache-routing contract);
 ``run_on_cmp`` then schedules the workload on a CMP configuration: the
 serial sections run on the master core, the parallel sections are
 divided evenly over all cores (static scheduling with one thread per
@@ -11,15 +14,22 @@ parallel share.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro.frontend.simulation import FrontEndResult, simulate_frontend
+from repro.frontend.simulation import FrontEndResult, simulate_frontend_many
 from repro.trace.instruction import CodeSection
 from repro.uarch.cmp import CmpConfig
 from repro.uarch.core import BASELINE_CORE, TAILORED_CORE, CoreModel
 from repro.uarch.cpi import CpiStack, cpi_for_section
+from repro.workloads.spec import WorkloadSpec
 from repro.workloads.synthesis import SyntheticWorkload
+from repro.workloads.trace_cache import (
+    DEFAULT_PROFILE_INSTRUCTIONS,
+    register_cache_clearer,
+    workload_trace,
+)
 
 #: Nominal dynamic instruction count used to convert per-instruction
 #: times into seconds.  All Figure 10/11 results are normalized to the
@@ -76,14 +86,81 @@ class CmpRunResult:
         return self.serial_seconds + self.parallel_seconds
 
 
+#: Process-wide front-end profile cache:
+#: (workload name, instructions, cores) -> WorkloadFrontendProfile.
+_PROFILE_CACHE: Dict[tuple, WorkloadFrontendProfile] = {}
+_PROFILE_CACHE_LOCK = threading.Lock()
+_PROFILE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_profile_cache() -> None:
+    """Drop every cached front-end profile (tests and memory pressure)."""
+    with _PROFILE_CACHE_LOCK:
+        _PROFILE_CACHE.clear()
+        _PROFILE_CACHE_STATS["hits"] = 0
+        _PROFILE_CACHE_STATS["misses"] = 0
+
+
+def profile_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the process-wide profile cache."""
+    with _PROFILE_CACHE_LOCK:
+        return {
+            "hits": _PROFILE_CACHE_STATS["hits"],
+            "misses": _PROFILE_CACHE_STATS["misses"],
+            "entries": len(_PROFILE_CACHE),
+        }
+
+
+# Profiles are derived from cached traces, so dropping the trace cache
+# must drop them too (otherwise a cleared-and-regenerated trace could
+# coexist with profiles of its predecessor).
+register_cache_clearer(clear_profile_cache)
+
+
 def profile_workload_frontend(
-    workload: SyntheticWorkload,
+    workload: Union[SyntheticWorkload, WorkloadSpec],
     instructions: Optional[int] = None,
     cores: Tuple[CoreModel, ...] = (BASELINE_CORE, TAILORED_CORE),
 ) -> WorkloadFrontendProfile:
-    """Measure front-end miss rates per core flavour and code section."""
-    spec = workload.spec
-    trace = workload.trace(instructions)
+    """Measure front-end miss rates per core flavour and code section.
+
+    Cache-routing contract
+    ----------------------
+    The trace is obtained through the shared
+    :func:`repro.workloads.trace_cache.workload_trace` cache -- never
+    by calling ``workload.trace`` directly -- so the Section V stack
+    (Figures 10/11) reuses the very same trace objects the Section IV
+    sweeps generated, in process and (with ``REPRO_TRACE_CACHE_DIR``)
+    on disk.  When ``instructions`` is omitted it therefore defaults to
+    the cache's :data:`DEFAULT_PROFILE_INSTRUCTIONS`.  The resulting
+    profile is itself memoized process-wide, keyed by ``(workload
+    name, instructions, cores)``; repeated calls return the *same*
+    object, which callers must treat as read-only.  Clearing the trace
+    cache clears the profile cache with it.
+
+    ``workload`` may be a built :class:`SyntheticWorkload` or a bare
+    :class:`WorkloadSpec`; only the spec is used.
+
+    All core flavours are simulated through the batched
+    :func:`repro.frontend.simulation.simulate_frontend_many` engine,
+    which decodes each section's branch/line streams once and runs
+    every front-end configuration over the shared columnar views.
+    """
+    spec = workload.spec if isinstance(workload, SyntheticWorkload) else workload
+    if instructions is None:
+        instructions = DEFAULT_PROFILE_INSTRUCTIONS
+    # Resolve the trace before consulting the profile cache: on a warm
+    # run this is a dictionary lookup, and it keeps the shared trace
+    # cache the single source of truth (its hit counters account every
+    # profiling pass, cached or not).
+    trace = workload_trace(spec, instructions)
+    key = (spec.name, int(instructions), tuple(cores))
+    with _PROFILE_CACHE_LOCK:
+        cached = _PROFILE_CACHE.get(key)
+        if cached is not None:
+            _PROFILE_CACHE_STATS["hits"] += 1
+            return cached
+        _PROFILE_CACHE_STATS["misses"] += 1
     profile = WorkloadFrontendProfile(
         workload_name=spec.name,
         serial_fraction=spec.serial_fraction,
@@ -94,10 +171,16 @@ def profile_workload_frontend(
         sections = [CodeSection.TOTAL]
     else:
         sections = [CodeSection.SERIAL, CodeSection.PARALLEL]
+    batched = simulate_frontend_many(
+        trace, [core.frontend for core in cores], sections
+    )
     for core in cores:
         for section in sections:
-            result = simulate_frontend(trace, core.frontend, section)
-            profile.results[(core.frontend.name, section)] = result
+            profile.results[(core.frontend.name, section)] = batched[
+                (core.frontend.name, section)
+            ]
+    with _PROFILE_CACHE_LOCK:
+        _PROFILE_CACHE[key] = profile
     return profile
 
 

@@ -25,6 +25,11 @@ from repro.workloads.catalog import (
     workload_names,
     workloads_in_suite,
 )
+from repro.workloads.trace_cache import (
+    clear_trace_cache,
+    trace_cache_info,
+    workload_trace,
+)
 
 __all__ = [
     "Suite",
@@ -38,4 +43,7 @@ __all__ = [
     "workloads_in_suite",
     "hpc_workloads",
     "desktop_workloads",
+    "workload_trace",
+    "clear_trace_cache",
+    "trace_cache_info",
 ]

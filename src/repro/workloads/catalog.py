@@ -16,7 +16,7 @@ every number used to stand in for the unavailable real binaries.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.workloads.spec import SectionProfile, WorkloadSpec
 from repro.workloads.suites import Suite
@@ -153,8 +153,8 @@ def _hpc(
     serial_fraction: float,
     static_code_kb: float,
     description: str,
-    parallel: Dict[str, float] = None,
-    serial: Dict[str, float] = None,
+    parallel: Optional[Dict[str, float]] = None,
+    serial: Optional[Dict[str, float]] = None,
 ) -> WorkloadSpec:
     """Build one HPC workload spec from suite defaults plus overrides."""
     parallel_profile = base_parallel.scaled(**(parallel or {}))
@@ -175,7 +175,7 @@ def _desktop(
     name: str,
     static_code_kb: float,
     description: str,
-    profile: Dict[str, float] = None,
+    profile: Optional[Dict[str, float]] = None,
 ) -> WorkloadSpec:
     """Build one SPEC CPU INT workload spec."""
     serial_profile = _SPEC_INT.scaled(**(profile or {}))

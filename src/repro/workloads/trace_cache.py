@@ -1,0 +1,205 @@
+"""Shared workload-trace cache (process-wide, plus an optional disk layer).
+
+This is the single place a dynamic trace of a catalogued workload is
+supposed to come from: every profiling layer (the experiment drivers,
+the Section V CMP simulator, benchmarks, examples) routes through
+:func:`workload_trace` so one trace per ``(workload, instructions,
+seed)`` exists per process, regardless of which driver asked first.
+
+The cache lives in the workloads layer -- below both ``experiments``
+and ``uarch`` -- precisely so the micro-architecture simulator can use
+it without a layering cycle; :mod:`repro.experiments.common` re-exports
+the public functions for backward compatibility.
+
+Set the ``REPRO_TRACE_CACHE_DIR`` environment variable to also persist
+trace columns on disk as ``.npz`` files, so separate driver *processes*
+(each CLI invocation is one, as is every ``--parallel`` worker) share
+traces too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.trace.columns import program_columns
+from repro.trace.events import Trace
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.synthesis import SyntheticWorkload, build_workload
+
+#: Default dynamic trace length used by the profiling layers.  Scaled
+#: down from the paper's multi-billion-instruction runs so the full
+#: 41-workload sweeps finish in minutes on a laptop; every caller
+#: accepts an ``instructions`` override.
+DEFAULT_PROFILE_INSTRUCTIONS = 150_000
+
+#: Directory for the optional on-disk trace cache.  When set, generated
+#: trace columns are persisted as ``.npz`` files so separate driver
+#: *processes* (each CLI invocation is one) share traces too.
+TRACE_CACHE_DIR_VARIABLE = "REPRO_TRACE_CACHE_DIR"
+
+#: Version salt folded into the disk-cache fingerprint.  Bump when the
+#: trace *generation* semantics change in a way the static-layout
+#: fingerprint cannot see (e.g. executor or schedule behaviour).
+TRACE_CACHE_VERSION = 1
+
+#: Process-wide trace cache: (workload name, instructions, seed) -> Trace.
+_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+_TRACE_CACHE_LOCK = threading.Lock()
+_TRACE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+#: Callbacks run by :func:`clear_trace_cache` so higher layers with
+#: derived caches (e.g. the uarch profile cache) stay consistent
+#: without this module importing them.
+_CLEAR_CALLBACKS: List[Callable[[], None]] = []
+
+
+def register_cache_clearer(callback: Callable[[], None]) -> None:
+    """Register a callback invoked whenever the trace cache is cleared.
+
+    Higher layers that memoize results *derived* from cached traces
+    (the process-wide front-end profile cache in
+    :mod:`repro.uarch.simulator`) register their own clearers here so
+    :func:`clear_trace_cache` drops the whole dependent chain at once.
+    """
+    if callback not in _CLEAR_CALLBACKS:
+        _CLEAR_CALLBACKS.append(callback)
+
+
+def workload_trace(
+    spec: WorkloadSpec,
+    instructions: Optional[int] = None,
+    seed: int = 0,
+) -> Trace:
+    """Build (or reuse) the synthetic workload and return its trace.
+
+    Traces are cached process-wide, keyed by ``(spec.name,
+    instructions, seed)``, so the experiment drivers share one trace
+    per workload instead of each regenerating all of them.  Repeated
+    calls with the same key return the *same* object.  Set the
+    ``REPRO_TRACE_CACHE_DIR`` environment variable to also persist
+    trace columns on disk and share them across driver processes.
+    """
+    if instructions is None:
+        instructions = DEFAULT_PROFILE_INSTRUCTIONS
+    key = (spec.name, int(instructions), int(seed))
+    with _TRACE_CACHE_LOCK:
+        cached = _TRACE_CACHE.get(key)
+        if cached is not None:
+            _TRACE_CACHE_STATS["hits"] += 1
+            return cached
+        _TRACE_CACHE_STATS["misses"] += 1
+
+    trace = _load_trace_from_disk(spec, key)
+    if trace is None:
+        workload: SyntheticWorkload = build_workload(spec)
+        trace = workload.trace(int(instructions), seed=seed)
+        _store_trace_to_disk(trace, key)
+    with _TRACE_CACHE_LOCK:
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace (mainly for tests and memory pressure).
+
+    Also clears the workload-builder cache underneath, which holds the
+    built programs and their per-workload trace dictionaries; without
+    that, the traces would stay strongly referenced and the next
+    "miss" would silently return the same objects.  Registered
+    dependent caches (see :func:`register_cache_clearer`) are cleared
+    last.
+    """
+    with _TRACE_CACHE_LOCK:
+        _TRACE_CACHE.clear()
+        _TRACE_CACHE_STATS["hits"] = 0
+        _TRACE_CACHE_STATS["misses"] = 0
+    build_workload.cache_clear()
+    for callback in _CLEAR_CALLBACKS:
+        callback()
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the process-wide trace cache."""
+    with _TRACE_CACHE_LOCK:
+        return {
+            "hits": _TRACE_CACHE_STATS["hits"],
+            "misses": _TRACE_CACHE_STATS["misses"],
+            "entries": len(_TRACE_CACHE),
+        }
+
+
+def _disk_cache_path(key: Tuple[str, int, int]) -> Optional[str]:
+    directory = os.environ.get(TRACE_CACHE_DIR_VARIABLE, "")
+    if not directory:
+        return None
+    name, instructions, seed = key
+    return os.path.join(directory, f"{name}-{instructions}-{seed}.npz")
+
+
+def _program_fingerprint(program) -> str:
+    """Digest of the laid-out static program a cached trace refers to.
+
+    Guards the disk cache against synthesis or layout changes: any
+    difference in block addresses, sizes, instruction counts,
+    terminators, or static targets invalidates the entry.  Generation
+    changes invisible to the static layout (branch probabilities,
+    executor behaviour) are covered by bumping
+    :data:`TRACE_CACHE_VERSION`.
+    """
+    columns = program_columns(program)
+    digest = hashlib.sha1(f"v{TRACE_CACHE_VERSION}:".encode())
+    for array in (
+        columns.addresses,
+        columns.size_bytes,
+        columns.num_instructions,
+        columns.terminators,
+        columns.taken_targets,
+    ):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def _load_trace_from_disk(
+    spec: WorkloadSpec, key: Tuple[str, int, int]
+) -> Optional[Trace]:
+    path = _disk_cache_path(key)
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        with np.load(path) as archive:
+            columns = (
+                archive["block_ids"],
+                archive["taken"],
+                archive["targets"],
+                archive["sections"],
+            )
+            fingerprint = str(archive["fingerprint"])
+    except Exception:
+        return None  # Corrupt or stale entry: fall back to regeneration.
+    program = build_workload(spec).program
+    if fingerprint != _program_fingerprint(program):
+        return None  # Synthesis/layout changed; the cached columns are stale.
+    return Trace.from_columns(program, *columns, name=spec.name)
+
+
+def _store_trace_to_disk(trace: Trace, key: Tuple[str, int, int]) -> None:
+    path = _disk_cache_path(key)
+    if path is None:
+        return
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        np.savez_compressed(
+            path,
+            block_ids=trace.block_ids,
+            taken=trace.taken_column,
+            targets=trace.target_column,
+            sections=trace.section_column,
+            fingerprint=np.str_(_program_fingerprint(trace.program)),
+        )
+    except OSError:
+        pass  # Disk cache is best-effort.
