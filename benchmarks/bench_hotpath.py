@@ -19,6 +19,7 @@ import pytest
 from repro.frontend.configs import BASELINE_FRONTEND
 from repro.frontend.simulation import simulate_frontend
 from repro.power import evaluate_cmp_energy
+from repro.trace.compiler import CompiledTraceGenerator, compile_schedule
 from repro.trace.events import Trace
 from repro.trace.execution import TraceGenerator
 from repro.uarch import (
@@ -41,10 +42,36 @@ def _workload():
 
 @pytest.mark.parametrize("instructions", TRACE_LENGTHS)
 def test_trace_generation(benchmark, instructions):
-    """Generate the dynamic trace (region-tree execution + columns)."""
+    """Generate the dynamic trace through the compiled segment engine.
+
+    This is the cold-trace path every workload uses
+    (``SyntheticWorkload.trace`` routes through the compiled schedule);
+    compilation itself is memoized and excluded by a warm-up run.
+    """
     workload = _workload()
+    compile_schedule(workload.program, workload.schedule)  # warm the memo
     # Drive the generator directly: workload.trace() would retain every
     # round's trace in the workload-level cache for the whole process.
+    seeds = iter(range(1_000, 100_000))
+
+    def generate():
+        generator = CompiledTraceGenerator(
+            workload.program, workload.schedule, seed=next(seeds)
+        )
+        return generator.run(instructions)
+
+    trace = benchmark(generate)
+    assert trace.instruction_count() >= instructions
+
+
+@pytest.mark.parametrize("instructions", TRACE_LENGTHS)
+def test_trace_generation_reference(benchmark, instructions):
+    """Generate the same trace via the reference tree walk.
+
+    Kept as the baseline the compiled engine is measured against (the
+    two are asserted bit-identical in the test suite).
+    """
+    workload = _workload()
     seeds = iter(range(1_000, 100_000))
 
     def generate():

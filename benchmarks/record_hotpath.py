@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Record hot-path and cold-sweep benchmark results across PRs.
+
+Runs ``bench_hotpath.py`` and ``bench_cold_sweep.py`` under
+pytest-benchmark and appends a compact entry (min/mean milliseconds per
+benchmark) to ``BENCH_hotpath.json`` at the repository root, so the
+performance trajectory of the engine is tracked commit over commit::
+
+    PYTHONPATH=src python benchmarks/record_hotpath.py [--label "PR 3"]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_hotpath.json")
+BENCH_FILES = ("benchmarks/bench_hotpath.py", "benchmarks/bench_cold_sweep.py")
+
+
+def _git_revision() -> str:
+    try:
+        revision = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    # Mark entries recorded from an uncommitted tree, so numbers are
+    # never attributed to a commit that does not contain the change.
+    return revision + ("-dirty" if status else "")
+
+
+def _run_benchmarks(json_path: str) -> None:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            *BENCH_FILES,
+            "-q",
+            "--benchmark-disable-gc",
+            f"--benchmark-json={json_path}",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        check=True,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--label", default=None, help="optional label stored with the entry"
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    try:
+        _run_benchmarks(json_path)
+        with open(json_path) as handle:
+            raw = json.load(handle)
+    finally:
+        os.unlink(json_path)
+
+    results = {
+        bench["name"]: {
+            "min_ms": round(bench["stats"]["min"] * 1e3, 3),
+            "mean_ms": round(bench["stats"]["mean"] * 1e3, 3),
+        }
+        for bench in raw["benchmarks"]
+    }
+    entry = {
+        "commit": _git_revision(),
+        "date": datetime.date.today().isoformat(),
+        "results": dict(sorted(results.items())),
+    }
+    if args.label:
+        entry["label"] = args.label
+
+    history = {"entries": []}
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            history = json.load(handle)
+    history["entries"].append(entry)
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+    print(f"recorded {len(results)} benchmarks to {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

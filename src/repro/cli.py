@@ -84,6 +84,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated sweep scenario names "
         "(experiments that accept scenarios, e.g. cmpsweep)",
     )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="report trace-cache hit/miss counters (memory and disk "
+        "layers) after each experiment",
+    )
     return parser
 
 
@@ -158,13 +164,54 @@ def main(argv: Optional[list] = None) -> int:
 
     for name in names:
         print(f"== {name} ==")
+        before = _cache_counters() if args.verbose else None
         print(
             _run_one(
                 name, args.instructions, args.parallel, args.processes, args.scenarios
             )
         )
+        if before is not None:
+            _report_cache(name, before)
         print()
     return 0
+
+
+def _cache_counters() -> dict:
+    """Snapshot of the process-wide trace and profile cache counters."""
+    from repro.experiments.common import trace_cache_info
+    from repro.uarch import profile_cache_info
+
+    counters = trace_cache_info()
+    profiles = profile_cache_info()
+    counters["profile_hits"] = profiles["hits"]
+    counters["profile_misses"] = profiles["misses"]
+    return counters
+
+
+def _report_cache(name: str, before: dict) -> None:
+    """Print this experiment's trace/profile cache activity.
+
+    The caches are process-wide and cumulative, so the report shows the
+    delta against the snapshot taken before the experiment ran.
+    """
+    from repro.experiments.common import resolved_cache_dir
+
+    after = _cache_counters()
+    delta = {key: after[key] - before.get(key, 0) for key in after}
+    directory = resolved_cache_dir()
+    print(
+        f"[{name}] trace cache: {delta['hits']} hits, {delta['misses']} misses, "
+        f"{after['entries']} entries in memory; disk layer "
+        + (
+            f"{directory}: {delta['disk_hits']} hits, "
+            f"{delta['disk_misses']} misses, {delta['disk_stores']} stores"
+            if directory is not None
+            else "disabled"
+        )
+        + f"; profiles: {delta['profile_hits']} hits, "
+        f"{delta['profile_misses']} misses",
+        file=sys.stderr,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,7 +22,11 @@ from repro.workloads.trace_cache import (
     TRACE_CACHE_DIR_VARIABLE,
     TRACE_CACHE_VERSION,
     clear_trace_cache,
+    default_shared_cache_dir,
+    enable_shared_cache,
+    resolved_cache_dir,
     trace_cache_info,
+    trace_on_disk,
     workload_trace,
 )
 
@@ -56,6 +60,42 @@ def parallel_map(
         return pool.map(function, items)
 
 
+def _prime_worker(args) -> None:
+    """Generate one trace into the shared disk cache (worker side)."""
+    spec, instructions = args
+    workload_trace(spec, instructions)
+
+
+def _prime_shared_traces(arguments: Sequence, processes: Optional[int]) -> None:
+    """Populate the shared trace cache for a sweep before forking.
+
+    Traces the disk layer is missing are generated *in parallel* (each
+    priming worker stores its ``.npz`` atomically), then the parent
+    loads everything into its in-memory cache, so sweep workers find
+    every trace present -- inherited on fork platforms, disk-loaded
+    otherwise -- instead of each regenerating its own.  Only argument
+    tuples of the conventional ``(spec, instructions, ...)`` driver
+    shape are primed; anything else is left to the worker.
+    """
+    pairs = []
+    seen = set()
+    for args in arguments:
+        if (
+            isinstance(args, tuple)
+            and len(args) >= 2
+            and isinstance(args[0], WorkloadSpec)
+            and isinstance(args[1], int)
+            and (args[0].name, args[1]) not in seen
+        ):
+            seen.add((args[0].name, args[1]))
+            pairs.append((args[0], args[1]))
+    missing = [pair for pair in pairs if not trace_on_disk(*pair)]
+    if len(missing) > 1:
+        parallel_map(_prime_worker, missing, processes)
+    for pair in pairs:
+        workload_trace(*pair)
+
+
 def run_sweep(
     worker: Callable,
     arguments: Sequence,
@@ -64,13 +104,17 @@ def run_sweep(
 ) -> List:
     """Run a per-workload sweep worker over its argument tuples.
 
-    Serial by default (sharing the in-process trace cache); with
-    ``run_parallel`` the work fans out across processes via
-    :func:`parallel_map`.  Note that worker processes keep their traces
-    to themselves -- set :data:`TRACE_CACHE_DIR_VARIABLE` so parallel
-    runs persist traces on disk and later drivers can reuse them.
+    Serial by default (sharing the in-process trace cache).  With
+    ``run_parallel`` the disk trace cache is enabled first -- defaulting
+    :data:`TRACE_CACHE_DIR_VARIABLE` to the per-user shared directory
+    when unset (see :func:`default_shared_cache_dir`; set the variable
+    to ``none`` to opt out) -- the sweep's traces are primed into it,
+    and the work then fans out across worker processes via
+    :func:`parallel_map`.
     """
     if run_parallel:
+        if enable_shared_cache() is not None:
+            _prime_shared_traces(arguments, processes)
         return parallel_map(worker, arguments, processes)
     return [worker(args) for args in arguments]
 

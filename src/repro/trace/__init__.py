@@ -42,11 +42,18 @@ from repro.trace.program import (
     UniformTripCount,
 )
 from repro.trace.layout import layout_program
+from repro.trace.buffers import ColumnBuffer
 from repro.trace.execution import (
     ExecutionSchedule,
     Phase,
     TraceGenerator,
     generate_trace,
+)
+from repro.trace.compiler import (
+    CompiledSchedule,
+    CompiledTraceGenerator,
+    compile_schedule,
+    generate_trace_compiled,
 )
 
 __all__ = [
@@ -79,4 +86,9 @@ __all__ = [
     "Phase",
     "TraceGenerator",
     "generate_trace",
+    "ColumnBuffer",
+    "CompiledSchedule",
+    "CompiledTraceGenerator",
+    "compile_schedule",
+    "generate_trace_compiled",
 ]

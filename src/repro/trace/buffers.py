@@ -1,0 +1,118 @@
+"""Growable preallocated NumPy buffers for dynamic event columns.
+
+The reference tree-walk executor (:mod:`repro.trace.execution`) emits
+its event stream through a :class:`ColumnBuffer`, which keeps the four
+event columns (block ids, branch outcomes, dynamic targets, section
+codes) as preallocated NumPy arrays that double in capacity when full.
+(The compiled segment engine stamps directly into its own output
+columns; see :mod:`repro.trace.compiler`.)
+
+Scalar appends stage in short fixed-size Python lists and flush into
+the arrays in vectorized chunks: per-event work stays a cheap list
+append (a per-event NumPy scalar store measures *slower* than a list
+append), while the staging never grows past one chunk and finishing a
+trace is a view of the preallocated columns instead of an O(n)
+list-to-array conversion of the whole stream.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Smallest capacity a buffer starts with, even for tiny traces.
+_MIN_CAPACITY = 256
+
+#: Largest capacity a hint may preallocate; callers sometimes pass an
+#: effectively-unbounded instruction budget (e.g. "run one full pass"),
+#: and growth handles anything beyond this.
+_MAX_HINT_CAPACITY = 1 << 22
+
+#: Scalar appends are staged in lists of at most this many events
+#: before being flushed into the NumPy columns in one vectorized copy.
+_STAGE_CHUNK = 4096
+
+
+class ColumnBuffer:
+    """Structure-of-arrays event buffer with amortized O(1) growth."""
+
+    __slots__ = (
+        "block_ids",
+        "taken",
+        "targets",
+        "sections",
+        "size",
+        "capacity",
+        "_stage_block_ids",
+        "_stage_taken",
+        "_stage_targets",
+        "_stage_sections",
+    )
+
+    def __init__(self, capacity_hint: int = 0) -> None:
+        capacity = min(_MAX_HINT_CAPACITY, max(_MIN_CAPACITY, int(capacity_hint)))
+        self.block_ids = np.empty(capacity, dtype=np.int64)
+        self.taken = np.empty(capacity, dtype=np.bool_)
+        self.targets = np.empty(capacity, dtype=np.int64)
+        self.sections = np.empty(capacity, dtype=np.uint8)
+        self.size = 0
+        self.capacity = capacity
+        self._stage_block_ids: list = []
+        self._stage_taken: list = []
+        self._stage_targets: list = []
+        self._stage_sections: list = []
+
+    def __len__(self) -> int:
+        return self.size + len(self._stage_block_ids)
+
+    def _grow(self, needed: int) -> None:
+        capacity = self.capacity
+        while capacity < needed:
+            capacity *= 2
+        for name in ("block_ids", "taken", "targets", "sections"):
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[: self.size] = old[: self.size]
+            setattr(self, name, new)
+        self.capacity = capacity
+
+    def flush(self) -> None:
+        """Copy any staged scalar appends into the column arrays."""
+        staged = self._stage_block_ids
+        count = len(staged)
+        if not count:
+            return
+        start = self.size
+        end = start + count
+        if end > self.capacity:
+            self._grow(end)
+        self.block_ids[start:end] = staged
+        self.taken[start:end] = self._stage_taken
+        self.targets[start:end] = self._stage_targets
+        self.sections[start:end] = self._stage_sections
+        self.size = end
+        staged.clear()
+        self._stage_taken.clear()
+        self._stage_targets.clear()
+        self._stage_sections.clear()
+
+    def append(self, block_id: int, taken: bool, target: int, section: int) -> None:
+        """Append one event (the reference tree-walk path)."""
+        self._stage_block_ids.append(block_id)
+        self._stage_taken.append(taken)
+        self._stage_targets.append(target)
+        self._stage_sections.append(section)
+        if len(self._stage_block_ids) >= _STAGE_CHUNK:
+            self.flush()
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The filled portion of the four columns, as views."""
+        self.flush()
+        n = self.size
+        return (
+            self.block_ids[:n],
+            self.taken[:n],
+            self.targets[:n],
+            self.sections[:n],
+        )

@@ -8,7 +8,8 @@ code section it belongs to, which reproduces the serial / parallel
 structure of an OpenMP or MPI+OpenMP application as seen from the first
 processing element.
 
-Events are recorded directly into the column lists the columnar
+Events are recorded directly into growable preallocated NumPy column
+buffers (:class:`~repro.trace.buffers.ColumnBuffer`) the columnar
 :class:`~repro.trace.events.Trace` consumes; the event-object view
 (``ctx.events``) is synthesized on demand for tests and debugging.
 """
@@ -20,6 +21,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.trace.buffers import ColumnBuffer
 from repro.trace.columns import NO_TARGET
 from repro.trace.events import BlockEvent, Trace
 from repro.trace.instruction import CodeSection
@@ -72,10 +74,10 @@ class ExecutionContext:
         self.max_instructions = max_instructions
         self.max_call_depth = max_call_depth
         self.instructions_emitted = 0
-        self._block_ids: List[int] = []
-        self._taken: List[bool] = []
-        self._targets: List[int] = []
-        self._section_codes: List[int] = []
+        # Events land in preallocated NumPy columns; an average block
+        # carries several instructions, so the instruction budget over 8
+        # is a conservative initial event capacity.
+        self._buffer = ColumnBuffer(capacity_hint=max_instructions // 8)
         self._call_depth = 0
         # Pattern state keyed by the owning region object itself.  The
         # dictionary holds a strong reference to each owner, so owners
@@ -109,19 +111,22 @@ class ExecutionContext:
     @property
     def events(self) -> List[BlockEvent]:
         """Event-object view of what has been emitted so far."""
+        block_ids, taken, targets, sections = self._buffer.columns()
         return [
             BlockEvent(b, t, None if g == NO_TARGET else g, CodeSection(s))
             for b, t, g, s in zip(
-                self._block_ids, self._taken, self._targets, self._section_codes
+                block_ids.tolist(), taken.tolist(), targets.tolist(), sections.tolist()
             )
         ]
 
     def emit(self, block: BasicBlock, taken: bool, target: Optional[int] = None) -> None:
         """Record one dynamic execution of a block."""
-        self._block_ids.append(block.block_id)
-        self._taken.append(bool(taken))
-        self._targets.append(NO_TARGET if target is None else target)
-        self._section_codes.append(self._section_code)
+        self._buffer.append(
+            block.block_id,
+            taken,
+            NO_TARGET if target is None else target,
+            self._section_code,
+        )
         self.instructions_emitted += block.num_instructions
 
     def call(self, callee: Function, return_to: int) -> None:
@@ -140,14 +145,7 @@ class ExecutionContext:
 
     def build_trace(self, program: Program, name: str = "") -> Trace:
         """Wrap the emitted columns into a :class:`Trace`."""
-        return Trace.from_columns(
-            program,
-            self._block_ids,
-            self._taken,
-            self._targets,
-            self._section_codes,
-            name=name,
-        )
+        return Trace.from_columns(program, *self._buffer.columns(), name=name)
 
 
 class TraceGenerator:

@@ -130,8 +130,10 @@ def profile_workload_frontend(
     :func:`repro.workloads.trace_cache.workload_trace` cache -- never
     by calling ``workload.trace`` directly -- so the Section V stack
     (Figures 10/11) reuses the very same trace objects the Section IV
-    sweeps generated, in process and (with ``REPRO_TRACE_CACHE_DIR``)
-    on disk.  When ``instructions`` is omitted it therefore defaults to
+    sweeps generated, in process and on disk (parallel sweeps default
+    ``REPRO_TRACE_CACHE_DIR`` to the per-user shared directory; cold
+    traces themselves come from the compiled segment engine).  When
+    ``instructions`` is omitted it therefore defaults to
     the cache's :data:`DEFAULT_PROFILE_INSTRUCTIONS`.  The resulting
     profile is itself memoized process-wide, keyed by ``(workload
     name, instructions, cores)``; repeated calls return the *same*

@@ -27,6 +27,9 @@ from repro.workloads.catalog import (
 )
 from repro.workloads.trace_cache import (
     clear_trace_cache,
+    default_shared_cache_dir,
+    enable_shared_cache,
+    resolved_cache_dir,
     trace_cache_info,
     workload_trace,
 )
@@ -46,4 +49,7 @@ __all__ = [
     "workload_trace",
     "clear_trace_cache",
     "trace_cache_info",
+    "default_shared_cache_dir",
+    "enable_shared_cache",
+    "resolved_cache_dir",
 ]

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.trace.compiler import CompiledSchedule, compile_schedule, compiled_engine_enabled
 from repro.trace.events import Trace
 from repro.trace.execution import ExecutionContext, ExecutionSchedule, Phase, TraceGenerator
 from repro.trace.instruction import CodeSection
@@ -512,18 +513,36 @@ class SyntheticWorkload:
         """Benchmark suite."""
         return self.spec.suite
 
+    @property
+    def compiled(self) -> CompiledSchedule:
+        """The workload's program + schedule lowered to segment IR.
+
+        Compilation is memoized alongside the built workload (the cache
+        lives on the program object), so every trace generation of this
+        workload -- any length, any seed -- reuses one compiled form.
+        """
+        return compile_schedule(self.program, self.schedule)
+
     def trace(self, instructions: Optional[int] = None, seed: int = 0) -> Trace:
-        """Generate (or return the cached) dynamic trace of the workload."""
+        """Generate (or return the cached) dynamic trace of the workload.
+
+        Generation runs through the compiled segment engine, which is
+        bit-identical to the reference tree walk (set
+        ``REPRO_TRACE_ENGINE=reference`` to force the tree walk).
+        """
         if instructions is None:
             instructions = DEFAULT_TRACE_INSTRUCTIONS
         key = (int(instructions), int(seed))
         if key not in self._traces:
-            generator = TraceGenerator(
-                self.program,
-                self.schedule,
-                seed=self.spec.seed ^ (seed * 0x9E3779B1),
-            )
-            self._traces[key] = generator.run(int(instructions), name=self.spec.name)
+            run_seed = self.spec.seed ^ (seed * 0x9E3779B1)
+            if compiled_engine_enabled():
+                trace = self.compiled.run(
+                    int(instructions), seed=run_seed, name=self.spec.name
+                )
+            else:
+                generator = TraceGenerator(self.program, self.schedule, seed=run_seed)
+                trace = generator.run(int(instructions), name=self.spec.name)
+            self._traces[key] = trace
         return self._traces[key]
 
     def static_code_bytes(self) -> int:

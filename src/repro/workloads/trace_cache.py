@@ -14,13 +14,19 @@ the public functions for backward compatibility.
 Set the ``REPRO_TRACE_CACHE_DIR`` environment variable to also persist
 trace columns on disk as ``.npz`` files, so separate driver *processes*
 (each CLI invocation is one, as is every ``--parallel`` worker) share
-traces too.
+traces too.  Parallel sweeps (:func:`repro.experiments.common.run_sweep`
+with ``run_parallel=True``) enable the disk layer automatically under a
+per-user cache directory (``$XDG_CACHE_HOME/repro-frontend/traces``,
+falling back to ``~/.cache``); set the variable to an explicit path to
+relocate it, or to one of ``""``/``none``/``off``/``0`` to disable the
+disk layer entirely.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import tempfile
 import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -47,15 +53,84 @@ TRACE_CACHE_DIR_VARIABLE = "REPRO_TRACE_CACHE_DIR"
 #: fingerprint cannot see (e.g. executor or schedule behaviour).
 TRACE_CACHE_VERSION = 1
 
+#: Values of :data:`TRACE_CACHE_DIR_VARIABLE` that disable the disk
+#: layer outright (case-insensitive).
+_DISK_CACHE_DISABLE_VALUES = frozenset({"", "0", "none", "off", "disabled"})
+
 #: Process-wide trace cache: (workload name, instructions, seed) -> Trace.
 _TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
 _TRACE_CACHE_LOCK = threading.Lock()
-_TRACE_CACHE_STATS = {"hits": 0, "misses": 0}
+_TRACE_CACHE_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "disk_hits": 0,
+    "disk_misses": 0,
+    "disk_stores": 0,
+}
 
 #: Callbacks run by :func:`clear_trace_cache` so higher layers with
 #: derived caches (e.g. the uarch profile cache) stay consistent
 #: without this module importing them.
 _CLEAR_CALLBACKS: List[Callable[[], None]] = []
+
+
+def default_shared_cache_dir() -> str:
+    """Per-user shared trace-cache directory (platformdirs-style).
+
+    Honours ``$XDG_CACHE_HOME`` and falls back to ``~/.cache``, the
+    conventional per-user cache root on every platform this project
+    targets.
+    """
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-frontend", "traces")
+
+
+def resolved_cache_dir() -> Optional[str]:
+    """The active disk-cache directory, or ``None`` when disabled.
+
+    Unset means "no disk layer" for plain calls (parallel sweeps opt in
+    via :func:`enable_shared_cache`); an explicit disable value turns
+    the disk layer off everywhere.
+    """
+    value = os.environ.get(TRACE_CACHE_DIR_VARIABLE)
+    if value is None:
+        return None
+    if value.strip().lower() in _DISK_CACHE_DISABLE_VALUES:
+        return None
+    return value
+
+
+def enable_shared_cache() -> Optional[str]:
+    """Turn the disk layer on, defaulting to the per-user directory.
+
+    Called by parallel sweeps before forking workers: when the cache
+    directory variable is unset it is exported (so worker processes
+    inherit it); an explicit path or disable value is left untouched.
+    Returns the active directory, or ``None`` when explicitly disabled.
+    """
+    if os.environ.get(TRACE_CACHE_DIR_VARIABLE) is None:
+        os.environ[TRACE_CACHE_DIR_VARIABLE] = default_shared_cache_dir()
+    return resolved_cache_dir()
+
+
+def trace_on_disk(spec: WorkloadSpec, instructions: int, seed: int = 0) -> bool:
+    """Whether the disk layer holds a *loadable* trace for this key.
+
+    Checks the stored fingerprint against the current program layout
+    (a stale or corrupt entry would be rejected at load time anyway),
+    so sweep priming regenerates exactly the traces that need it.
+    """
+    path = _disk_cache_path((spec.name, int(instructions), int(seed)))
+    if path is None or not os.path.exists(path):
+        return False
+    try:
+        with np.load(path) as archive:
+            fingerprint = str(archive["fingerprint"])
+    except Exception:
+        return False  # Corrupt entry: treat as missing.
+    return fingerprint == _program_fingerprint(build_workload(spec).program)
 
 
 def register_cache_clearer(callback: Callable[[], None]) -> None:
@@ -94,11 +169,20 @@ def workload_trace(
             return cached
         _TRACE_CACHE_STATS["misses"] += 1
 
+    disk_enabled = resolved_cache_dir() is not None
     trace = _load_trace_from_disk(spec, key)
     if trace is None:
+        if disk_enabled:
+            with _TRACE_CACHE_LOCK:
+                _TRACE_CACHE_STATS["disk_misses"] += 1
         workload: SyntheticWorkload = build_workload(spec)
         trace = workload.trace(int(instructions), seed=seed)
-        _store_trace_to_disk(trace, key)
+        if _store_trace_to_disk(trace, key):
+            with _TRACE_CACHE_LOCK:
+                _TRACE_CACHE_STATS["disk_stores"] += 1
+    else:
+        with _TRACE_CACHE_LOCK:
+            _TRACE_CACHE_STATS["disk_hits"] += 1
     with _TRACE_CACHE_LOCK:
         _TRACE_CACHE[key] = trace
     return trace
@@ -116,26 +200,28 @@ def clear_trace_cache() -> None:
     """
     with _TRACE_CACHE_LOCK:
         _TRACE_CACHE.clear()
-        _TRACE_CACHE_STATS["hits"] = 0
-        _TRACE_CACHE_STATS["misses"] = 0
+        for counter in _TRACE_CACHE_STATS:
+            _TRACE_CACHE_STATS[counter] = 0
     build_workload.cache_clear()
     for callback in _CLEAR_CALLBACKS:
         callback()
 
 
 def trace_cache_info() -> Dict[str, int]:
-    """Hit/miss/size counters of the process-wide trace cache."""
+    """Hit/miss/size counters of the process-wide trace cache.
+
+    ``disk_hits``/``disk_misses``/``disk_stores`` count the optional
+    ``.npz`` layer; they stay zero while it is disabled.
+    """
     with _TRACE_CACHE_LOCK:
-        return {
-            "hits": _TRACE_CACHE_STATS["hits"],
-            "misses": _TRACE_CACHE_STATS["misses"],
-            "entries": len(_TRACE_CACHE),
-        }
+        info = dict(_TRACE_CACHE_STATS)
+        info["entries"] = len(_TRACE_CACHE)
+        return info
 
 
 def _disk_cache_path(key: Tuple[str, int, int]) -> Optional[str]:
-    directory = os.environ.get(TRACE_CACHE_DIR_VARIABLE, "")
-    if not directory:
+    directory = resolved_cache_dir()
+    if directory is None:
         return None
     name, instructions, seed = key
     return os.path.join(directory, f"{name}-{instructions}-{seed}.npz")
@@ -187,19 +273,33 @@ def _load_trace_from_disk(
     return Trace.from_columns(program, *columns, name=spec.name)
 
 
-def _store_trace_to_disk(trace: Trace, key: Tuple[str, int, int]) -> None:
+def _store_trace_to_disk(trace: Trace, key: Tuple[str, int, int]) -> bool:
     path = _disk_cache_path(key)
     if path is None:
-        return
+        return False
+    # Write-then-rename keeps the store atomic: the shared directory is
+    # populated concurrently by parallel drivers, and a reader must
+    # never observe a half-written archive.
+    temporary = None
     try:
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        np.savez_compressed(
-            path,
-            block_ids=trace.block_ids,
-            taken=trace.taken_column,
-            targets=trace.target_column,
-            sections=trace.section_column,
-            fingerprint=np.str_(_program_fingerprint(trace.program)),
-        )
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle, temporary = tempfile.mkstemp(suffix=".npz.tmp", dir=directory)
+        with os.fdopen(handle, "wb") as stream:
+            np.savez_compressed(
+                stream,
+                block_ids=trace.block_ids,
+                taken=trace.taken_column,
+                targets=trace.target_column,
+                sections=trace.section_column,
+                fingerprint=np.str_(_program_fingerprint(trace.program)),
+            )
+        os.replace(temporary, path)
     except OSError:
-        pass  # Disk cache is best-effort.
+        if temporary is not None:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+        return False  # Disk cache is best-effort.
+    return True

@@ -7,6 +7,14 @@ tests that only need a tiny program build one by hand instead.
 
 from __future__ import annotations
 
+import os
+
+# Keep the suite hermetic: parallel-sweep helpers default the disk
+# trace cache to the real per-user directory, which tests must never
+# read or populate.  Tests that exercise the disk layer point the
+# variable at a tmp_path explicitly (monkeypatch.setenv overrides this).
+os.environ.setdefault("REPRO_TRACE_CACHE_DIR", "none")
+
 import pytest
 
 from repro.trace import Program
