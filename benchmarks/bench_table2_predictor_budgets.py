@@ -2,7 +2,7 @@
 
 from repro.experiments import run_table2, format_table2
 
-from bench_common import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import run_once, show
 
 
 def test_table2_predictor_budgets(benchmark):

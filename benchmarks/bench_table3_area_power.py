@@ -2,7 +2,7 @@
 
 from repro.experiments import run_table3, format_table3
 
-from bench_common import BENCH_INSTRUCTIONS, run_once, show
+from bench_common import run_once, show
 
 
 def test_table3_area_power(benchmark):

@@ -14,8 +14,6 @@ from the trace exactly as the pintool does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
-
 from repro.trace.events import Trace
 from repro.trace.instruction import CodeSection
 

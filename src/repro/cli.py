@@ -7,46 +7,29 @@ Usage::
     repro-frontend table3
     repro-frontend fig10 --parallel
     repro-frontend cmpsweep --scenarios core-scaling,l2-scaling
-    repro-frontend all --instructions 100000
+    repro-frontend all --smoke --parallel --out results/
+
+Every run goes through the experiment orchestrator
+(:mod:`repro.results.orchestrator`): results are looked up in the
+content-addressed result store before anything is computed, freshly
+computed results are stored for the next invocation, and ``--out``
+emits the run as a CSV+JSON manifest directory.  Set
+``REPRO_RESULT_CACHE_DIR`` to relocate the store or to ``none`` to
+disable the disk layer.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from repro import experiments
-
-#: Experiment name -> (runner, formatter).  Which optional kwargs a
-#: runner accepts (instructions, run_parallel) is detected from its
-#: signature, so the drivers own those capabilities.
-_EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
-    "fig1": (experiments.run_fig01, experiments.format_fig01),
-    "fig2": (experiments.run_fig02, experiments.format_fig02),
-    "table1": (experiments.run_table1, experiments.format_table1),
-    "fig3": (experiments.run_fig03, experiments.format_fig03),
-    "fig4": (experiments.run_fig04, experiments.format_fig04),
-    "table2": (experiments.run_table2, experiments.format_table2),
-    "fig5": (experiments.run_fig05, experiments.format_fig05),
-    "fig6": (experiments.run_fig06, experiments.format_fig06),
-    "fig7": (experiments.run_fig07, experiments.format_fig07),
-    "fig8": (experiments.run_fig08, experiments.format_fig08),
-    "fig9": (experiments.run_fig09, experiments.format_fig09),
-    "table3": (experiments.run_table3, experiments.format_table3),
-    "fig10": (experiments.run_fig10, experiments.format_fig10),
-    "fig11": (experiments.run_fig11, experiments.format_fig11),
-    "cmpsweep": (experiments.run_cmpsweep, experiments.format_cmpsweep),
-}
-
-
-def _accepts(runner: Callable, parameter: str) -> bool:
-    """Whether a runner's signature accepts an optional kwarg."""
-    return parameter in inspect.signature(runner).parameters
+from repro.experiments import DEFAULT_EXPERIMENT_INSTRUCTIONS
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.results.orchestrator import registry_names
+
     parser = argparse.ArgumentParser(
         prog="repro-frontend",
         description=(
@@ -57,19 +40,29 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment to run: one of %s, 'all', or 'list'"
-        % ", ".join(sorted(_EXPERIMENTS)),
+        % ", ".join(sorted(registry_names())),
     )
     parser.add_argument(
         "--instructions",
         type=int,
-        default=experiments.DEFAULT_EXPERIMENT_INSTRUCTIONS,
-        help="dynamic trace length per workload (default %(default)s)",
+        default=None,
+        help="dynamic trace length per workload (default %d; overrides "
+        "--smoke/--full)" % DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short traces for a fast end-to-end pass (CI smoke runs)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full experiment trace length (the default)",
     )
     parser.add_argument(
         "--parallel",
         action="store_true",
-        help="fan the per-workload sweep across worker processes "
-        "(experiments that support run_parallel)",
+        help="fan the per-workload sweeps across worker processes",
     )
     parser.add_argument(
         "--processes",
@@ -85,61 +78,63 @@ def _build_parser() -> argparse.ArgumentParser:
         "(experiments that accept scenarios, e.g. cmpsweep)",
     )
     parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="emit every experiment of this run as CSV+JSON into DIR, "
+        "plus a manifest.json index",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when a flag is ignored by every selected "
+        "experiment (instead of only warning)",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
-        help="report trace-cache hit/miss counters (memory and disk "
-        "layers) after each experiment",
+        help="report result-store and trace/profile cache activity "
+        "after each experiment",
     )
     return parser
 
 
-def _run_one(
-    name: str,
-    instructions: int,
-    parallel: bool = False,
-    processes: Optional[int] = None,
-    scenarios: Optional[str] = None,
-) -> str:
-    runner, formatter = _EXPERIMENTS[name]
-    kwargs = {}
-    if _accepts(runner, "instructions"):
-        kwargs["instructions"] = instructions
-    if parallel:
-        if _accepts(runner, "run_parallel"):
-            kwargs["run_parallel"] = True
-            kwargs["processes"] = processes
-        else:
-            print(
-                f"warning: --parallel ignored: experiment {name!r} "
-                "has no per-workload sweep to fan out",
-                file=sys.stderr,
-            )
-    if scenarios is not None:
-        if _accepts(runner, "scenario_names"):
-            kwargs["scenario_names"] = [
-                scenario.strip() for scenario in scenarios.split(",") if scenario.strip()
-            ]
-        else:
-            print(
-                f"warning: --scenarios ignored: experiment {name!r} "
-                "does not take sweep scenarios",
-                file=sys.stderr,
-            )
-    result = runner(**kwargs)
-    return formatter(result)
+def _resolve_instructions(args: argparse.Namespace) -> int:
+    """Instruction budget from --instructions/--smoke/--full."""
+    from repro.results.orchestrator import SMOKE_INSTRUCTIONS
+
+    if args.instructions is not None:
+        return args.instructions
+    if args.smoke:
+        return SMOKE_INSTRUCTIONS
+    return DEFAULT_EXPERIMENT_INSTRUCTIONS
 
 
 def main(argv: Optional[list] = None) -> int:
     """Entry point of the ``repro-frontend`` command."""
+    from repro.results.orchestrator import (
+        RunReport,
+        registry_names,
+        run_experiments,
+        unconsumed_flags,
+        write_manifest,
+    )
+    from repro.results.store import enable_shared_result_store
+
     parser = _build_parser()
     args = parser.parse_args(argv)
 
+    if args.smoke and args.full:
+        parser.error("--smoke and --full are mutually exclusive")
+
+    scenario_names = None
     if args.scenarios:
         from repro.uarch.sweep import standard_scenarios
 
         known = standard_scenarios()
-        requested = [s.strip() for s in args.scenarios.split(",") if s.strip()]
-        unknown = [s for s in requested if s not in known]
+        scenario_names = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+        unknown = [s for s in scenario_names if s not in known]
         if unknown:
             parser.error(
                 f"unknown sweep scenario(s): {', '.join(unknown)}; "
@@ -147,69 +142,134 @@ def main(argv: Optional[list] = None) -> int:
             )
 
     if args.experiment == "list":
-        for name in sorted(_EXPERIMENTS):
+        for name in sorted(registry_names()):
             print(name)
         return 0
 
     if args.experiment == "all":
-        names = sorted(_EXPERIMENTS)
-    elif args.experiment in _EXPERIMENTS:
+        names = registry_names()
+    elif args.experiment in registry_names():
         names = [args.experiment]
     else:
         parser.error(
             f"unknown experiment {args.experiment!r}; "
-            f"expected one of {', '.join(sorted(_EXPERIMENTS))}, 'all', or 'list'"
+            f"expected one of {', '.join(sorted(registry_names()))}, "
+            "'all', or 'list'"
         )
         return 2  # pragma: no cover - parser.error raises SystemExit
 
-    for name in names:
-        print(f"== {name} ==")
-        before = _cache_counters() if args.verbose else None
+    if args.instructions is not None:
+        budget_flag: Optional[str] = "--instructions"
+    elif args.smoke:
+        budget_flag = "--smoke"
+    elif args.full:
+        budget_flag = "--full"
+    else:
+        budget_flag = None
+    ignored = unconsumed_flags(names, args.parallel, scenario_names, budget_flag)
+    for flag in ignored:
         print(
-            _run_one(
-                name, args.instructions, args.parallel, args.processes, args.scenarios
-            )
+            f"warning: {flag} ignored: not consumed by {', '.join(names)}",
+            file=sys.stderr,
         )
+    if ignored and args.strict:
+        print(
+            "error: --strict run with ignored flag(s): " + ", ".join(ignored),
+            file=sys.stderr,
+        )
+        return 2
+
+    instructions = _resolve_instructions(args)
+    enable_shared_result_store()
+
+    # Experiments run one orchestrator call at a time so output streams
+    # incrementally; the registry order already places dependencies
+    # (fig10) before their dependents (fig11), and every completed
+    # experiment lands in the result store immediately, so an
+    # interrupted `all` run resumes where it died.
+    combined = RunReport(instructions=instructions)
+    for name in names:
+        before = _cache_counters() if args.verbose else None
+        report = run_experiments(
+            [name],
+            instructions=instructions,
+            run_parallel=args.parallel,
+            processes=args.processes,
+            scenario_names=scenario_names,
+        )
+        outcome = report.outcome(name)
+        combined.outcomes.append(outcome)
+        print(f"== {name} ==")
+        print(_render_artifact(outcome.artifact))
         if before is not None:
-            _report_cache(name, before)
+            _report_experiment(outcome, before)
         print()
+
+    if args.verbose:
+        counts = combined.counts()
+        print(
+            f"[{args.experiment}] result store: {counts['computed']} computed, "
+            f"{counts['derived']} derived, {counts['cached']} served from store",
+            file=sys.stderr,
+        )
+    if args.out is not None:
+        manifest_path = write_manifest(combined, args.out)
+        print(f"manifest: {manifest_path}", file=sys.stderr)
     return 0
 
 
-def _cache_counters() -> dict:
-    """Snapshot of the process-wide trace and profile cache counters."""
-    from repro.experiments.common import trace_cache_info
-    from repro.uarch import profile_cache_info
+def _render_artifact(artifact: dict) -> str:
+    """Render a (possibly store-served) artifact the way format_* does."""
+    from repro.experiments.common import render_blocks
+    from repro.results.artifacts import artifact_blocks
 
-    counters = trace_cache_info()
-    profiles = profile_cache_info()
-    counters["profile_hits"] = profiles["hits"]
-    counters["profile_misses"] = profiles["misses"]
-    return counters
+    return render_blocks(artifact_blocks(artifact))
 
 
-def _report_cache(name: str, before: dict) -> None:
-    """Print this experiment's trace/profile cache activity.
+def _cache_counters() -> Dict[str, Dict[str, int]]:
+    """Snapshot of every registered cache's counters."""
+    from repro.workloads.trace_cache import all_cache_stats
+
+    return all_cache_stats()
+
+
+def _report_experiment(outcome, before: Dict[str, Dict[str, int]]) -> None:
+    """Print one experiment's store status and cache activity.
 
     The caches are process-wide and cumulative, so the report shows the
     delta against the snapshot taken before the experiment ran.
     """
     from repro.experiments.common import resolved_cache_dir
+    from repro.results.store import resolved_result_dir
 
     after = _cache_counters()
-    delta = {key: after[key] - before.get(key, 0) for key in after}
-    directory = resolved_cache_dir()
+    deltas: Dict[str, Dict[str, int]] = {}
+    for cache, counters in after.items():
+        previous = before.get(cache, {})
+        deltas[cache] = {
+            key: value - previous.get(key, 0)
+            for key, value in counters.items()
+            if key != "entries"
+        }
+    traces = deltas.get("traces", {})
+    profiles = deltas.get("profiles", {})
+    results = deltas.get("results", {})
+    trace_dir = resolved_cache_dir()
+    result_dir = resolved_result_dir()
     print(
-        f"[{name}] trace cache: {delta['hits']} hits, {delta['misses']} misses, "
-        f"{after['entries']} entries in memory; disk layer "
+        f"[{outcome.name}] {outcome.status} (key {outcome.key[:12]}); "
+        f"result store {result_dir if result_dir else 'memory-only'}: "
+        f"{results.get('hits', 0)} hits, {results.get('disk_hits', 0)} disk hits, "
+        f"{results.get('disk_stores', 0)} disk stores; "
+        f"traces: {traces.get('hits', 0)} hits, {traces.get('misses', 0)} misses"
         + (
-            f"{directory}: {delta['disk_hits']} hits, "
-            f"{delta['disk_misses']} misses, {delta['disk_stores']} stores"
-            if directory is not None
-            else "disabled"
+            f", disk {trace_dir}: {traces.get('disk_hits', 0)} hits, "
+            f"{traces.get('disk_stores', 0)} stores"
+            if trace_dir is not None
+            else ""
         )
-        + f"; profiles: {delta['profile_hits']} hits, "
-        f"{delta['profile_misses']} misses",
+        + f"; profiles: {profiles.get('hits', 0)} hits, "
+        f"{profiles.get('misses', 0)} misses",
         file=sys.stderr,
     )
 

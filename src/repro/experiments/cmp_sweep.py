@@ -15,13 +15,15 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
     mean,
     normalize_to_reference,
+    render_blocks,
     run_sweep,
     suite_workloads,
 )
 from repro.power.cmp_power import evaluate_cmp_energy
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
 from repro.uarch.sweep import SweepScenario, get_scenario, standard_scenarios
 from repro.workloads.suites import Suite
@@ -122,9 +124,9 @@ def run_cmpsweep(
     return result
 
 
-def format_cmpsweep(result: CmpSweepResult) -> str:
-    """Render one normalized time/power/energy table per scenario."""
-    blocks: List[str] = []
+def tables_cmpsweep(result: CmpSweepResult) -> List[TableBlock]:
+    """One normalized time/power/energy table block per scenario."""
+    blocks: List[TableBlock] = []
     for scenario in result.scenarios:
         headers = ["configuration"] + list(SWEEP_METRICS)
         rows: List[List[str]] = []
@@ -134,9 +136,35 @@ def format_cmpsweep(result: CmpSweepResult) -> str:
                 [cmp.name]
                 + [f"{summary[metric][cmp.name]:.3f}" for metric in SWEEP_METRICS]
             )
-        table = format_table(headers, rows)
         blocks.append(
-            f"scenario {scenario.name}: {scenario.description}\n"
-            f"(workload-mean, normalized to {scenario.reference.name})\n{table}"
+            block(
+                headers,
+                rows,
+                title=(
+                    f"scenario {scenario.name}: {scenario.description}\n"
+                    f"(workload-mean, normalized to {scenario.reference.name})"
+                ),
+                name=scenario.name,
+            )
         )
-    return "\n\n".join(blocks)
+    return blocks
+
+
+def format_cmpsweep(result: CmpSweepResult) -> str:
+    """Render one normalized time/power/energy table per scenario."""
+    return render_blocks(tables_cmpsweep(result))
+
+
+def _constants() -> Dict[str, object]:
+    """Key material: the default workload mix and reported metrics."""
+    return {"metrics": list(SWEEP_METRICS)}
+
+
+SPEC = ExperimentSpec(
+    name="cmpsweep",
+    title="CMP scenario sweeps: configuration grids over the workloads",
+    runner=run_cmpsweep,
+    tables=tables_cmpsweep,
+    workloads=lambda: tuple(DEFAULT_SWEEP_WORKLOADS),
+    constants=_constants,
+)

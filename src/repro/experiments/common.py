@@ -13,6 +13,7 @@ import multiprocessing
 import os
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro.results.artifacts import TableBlock
 from repro.trace.instruction import CodeSection
 from repro.workloads.catalog import WORKLOADS, get_workload, workloads_in_suite
 from repro.workloads.spec import WorkloadSpec
@@ -21,14 +22,53 @@ from repro.workloads.trace_cache import (
     DEFAULT_PROFILE_INSTRUCTIONS,
     TRACE_CACHE_DIR_VARIABLE,
     TRACE_CACHE_VERSION,
+    all_cache_stats,
     clear_trace_cache,
     default_shared_cache_dir,
     enable_shared_cache,
+    register_stats_provider,
     resolved_cache_dir,
     trace_cache_info,
     trace_on_disk,
     workload_trace,
 )
+
+__all__ = [
+    # Sweep and selection helpers owned by this module.
+    "DEFAULT_EXPERIMENT_INSTRUCTIONS",
+    "SECTION_ORDER",
+    "default_workload_names",
+    "format_table",
+    "mean",
+    "normalize_to_reference",
+    "parallel_map",
+    "render_blocks",
+    "run_sweep",
+    "sections_for",
+    "suite_label_map",
+    "suite_workloads",
+    # Re-exported workload/trace-cache API (backward compatibility --
+    # the cache itself lives in repro.workloads.trace_cache).
+    "CodeSection",
+    "Suite",
+    "SUITE_ORDER",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "get_workload",
+    "workloads_in_suite",
+    "DEFAULT_PROFILE_INSTRUCTIONS",
+    "TRACE_CACHE_DIR_VARIABLE",
+    "TRACE_CACHE_VERSION",
+    "all_cache_stats",
+    "clear_trace_cache",
+    "default_shared_cache_dir",
+    "enable_shared_cache",
+    "register_stats_provider",
+    "resolved_cache_dir",
+    "trace_cache_info",
+    "trace_on_disk",
+    "workload_trace",
+]
 
 #: Default dynamic trace length used by the experiment drivers (alias
 #: of the trace-cache default so both layers agree on what a cached
@@ -167,6 +207,29 @@ def normalize_to_reference(
     return {
         name: (value / scale if scale else 0.0) for name, value in values.items()
     }
+
+
+def default_workload_names() -> tuple:
+    """Names of the full 41-workload catalog, in suite order.
+
+    The default workload set of every whole-catalog experiment; the
+    orchestrator folds it into the content-addressed result key.
+    """
+    return tuple(spec.name for spec in suite_workloads())
+
+
+def render_blocks(blocks: Sequence[TableBlock]) -> str:
+    """Render experiment table blocks the way the CLI prints them.
+
+    Every ``format_*`` helper routes through this, so the text output
+    and the CSV/JSON manifest emission share one source of truth (the
+    blocks produced by the experiment's ``tables_*`` function).
+    """
+    parts = []
+    for item in blocks:
+        table = format_table(item.headers, item.rows)
+        parts.append(f"{item.title}\n{table}" if item.title else table)
+    return "\n\n".join(parts)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

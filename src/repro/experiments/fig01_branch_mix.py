@@ -5,15 +5,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.branch_mix import analyze_branch_mix
+from repro.analysis.branch_mix import BranchMix, analyze_branch_mix
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
+    default_workload_names,
     mean,
+    render_blocks,
+    run_sweep,
     sections_for,
     suite_workloads,
     workload_trace,
 )
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import FIGURE1_CATEGORIES, CodeSection
 from repro.workloads.suites import SUITE_ORDER, Suite
 
@@ -31,19 +35,34 @@ class Fig01Result:
     per_workload: Dict[str, float] = field(default_factory=dict)
 
 
+def _workload_mix(args) -> Dict[CodeSection, BranchMix]:
+    """Per-workload worker: branch mix of every reported section."""
+    spec, instructions = args
+    trace = workload_trace(spec, instructions)
+    return {
+        section: analyze_branch_mix(trace, section) for section in sections_for(spec)
+    }
+
+
 def run_fig01(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     suites: Optional[Sequence[Suite]] = None,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Fig01Result:
-    """Regenerate the Figure 1 data."""
+    """Regenerate the Figure 1 data.
+
+    With ``run_parallel`` the per-workload analysis (trace generation
+    plus the per-section branch mixes) fans out across worker processes.
+    """
     result = Fig01Result(instructions=instructions)
     for suite in suites or SUITE_ORDER:
         specs = suite_workloads(suites=[suite])
+        arguments = [(spec, instructions) for spec in specs]
+        rows = run_sweep(_workload_mix, arguments, run_parallel, processes)
         per_section_mixes: Dict[CodeSection, List] = {}
-        for spec in specs:
-            trace = workload_trace(spec, instructions)
-            for section in sections_for(spec):
-                mix = analyze_branch_mix(trace, section)
+        for spec, mixes in zip(specs, rows):
+            for section, mix in mixes.items():
                 per_section_mixes.setdefault(section, []).append(mix)
                 if section is CodeSection.TOTAL:
                     result.per_workload[spec.name] = mix.branch_fraction
@@ -60,8 +79,8 @@ def run_fig01(
     return result
 
 
-def format_fig01(result: Fig01Result) -> str:
-    """Render the Figure 1 stacked-bar data as a table (values in %)."""
+def tables_fig01(result: Fig01Result) -> List[TableBlock]:
+    """Figure 1 stacked-bar data as table blocks (values in %)."""
     headers = ["suite", "section", "branches%"] + list(FIGURE1_CATEGORIES)
     rows = []
     for suite, sections in result.categories.items():
@@ -71,4 +90,18 @@ def format_fig01(result: Fig01Result) -> str:
                  f"{100 * result.branch_fraction[suite][section]:.1f}"]
                 + [f"{100 * categories[c]:.2f}" for c in FIGURE1_CATEGORIES]
             )
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_fig01(result: Fig01Result) -> str:
+    """Render the Figure 1 stacked-bar data as a table (values in %)."""
+    return render_blocks(tables_fig01(result))
+
+
+SPEC = ExperimentSpec(
+    name="fig1",
+    title="Figure 1: dynamic branch instruction breakdown per suite and section",
+    runner=run_fig01,
+    tables=tables_fig01,
+    workloads=default_workload_names,
+)

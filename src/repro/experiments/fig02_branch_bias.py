@@ -5,15 +5,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.branch_bias import BIAS_BUCKET_LABELS, analyze_branch_bias
+from repro.analysis.branch_bias import (
+    BIAS_BUCKET_LABELS,
+    BiasDistribution,
+    analyze_branch_bias,
+)
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
+    default_workload_names,
     mean,
+    render_blocks,
+    run_sweep,
     sections_for,
     suite_workloads,
     workload_trace,
 )
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import SUITE_ORDER, Suite
 
@@ -32,21 +40,35 @@ class Fig02Result:
         return data["0-10%"] + data[">90%"]
 
 
+def _workload_bias(args) -> Dict[CodeSection, BiasDistribution]:
+    """Per-workload worker: bias distribution of every reported section."""
+    spec, instructions = args
+    trace = workload_trace(spec, instructions)
+    return {
+        section: analyze_branch_bias(trace, section) for section in sections_for(spec)
+    }
+
+
 def run_fig02(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     suites: Optional[Sequence[Suite]] = None,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Fig02Result:
-    """Regenerate the Figure 2 data."""
+    """Regenerate the Figure 2 data.
+
+    With ``run_parallel`` the per-workload analysis fans out across
+    worker processes.
+    """
     result = Fig02Result(instructions=instructions)
     for suite in suites or SUITE_ORDER:
         specs = suite_workloads(suites=[suite])
+        arguments = [(spec, instructions) for spec in specs]
+        rows = run_sweep(_workload_bias, arguments, run_parallel, processes)
         per_section: Dict[CodeSection, List] = {}
-        for spec in specs:
-            trace = workload_trace(spec, instructions)
-            for section in sections_for(spec):
-                per_section.setdefault(section, []).append(
-                    analyze_branch_bias(trace, section)
-                )
+        for spec, distributions in zip(specs, rows):
+            for section, distribution in distributions.items():
+                per_section.setdefault(section, []).append(distribution)
         result.buckets[suite] = {}
         for section, distributions in per_section.items():
             result.buckets[suite][section] = {
@@ -56,8 +78,8 @@ def run_fig02(
     return result
 
 
-def format_fig02(result: Fig02Result) -> str:
-    """Render the Figure 2 stacked-bar data as a table (values in %)."""
+def tables_fig02(result: Fig02Result) -> List[TableBlock]:
+    """Figure 2 stacked-bar data as table blocks (values in %)."""
     headers = ["suite", "section"] + list(BIAS_BUCKET_LABELS) + ["strongly biased"]
     rows = []
     for suite, sections in result.buckets.items():
@@ -67,4 +89,18 @@ def format_fig02(result: Fig02Result) -> str:
                 + [f"{100 * buckets[label]:.1f}" for label in BIAS_BUCKET_LABELS]
                 + [f"{100 * result.strongly_biased(suite, section):.1f}"]
             )
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_fig02(result: Fig02Result) -> str:
+    """Render the Figure 2 stacked-bar data as a table (values in %)."""
+    return render_blocks(tables_fig02(result))
+
+
+SPEC = ExperimentSpec(
+    name="fig2",
+    title="Figure 2: distribution of conditional branch directions per suite",
+    runner=run_fig02,
+    tables=tables_fig02,
+    workloads=default_workload_names,
+)

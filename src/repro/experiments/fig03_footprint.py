@@ -5,15 +5,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.footprint import analyze_footprint
+from repro.analysis.footprint import FootprintResult, analyze_footprint
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
+    default_workload_names,
     mean,
+    render_blocks,
+    run_sweep,
     sections_for,
     suite_workloads,
     workload_trace,
 )
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import SUITE_ORDER, Suite
 
@@ -29,20 +33,35 @@ class Fig03Result:
     per_workload_dynamic99_kb: Dict[str, float] = field(default_factory=dict)
 
 
+def _workload_footprints(args) -> Dict[CodeSection, FootprintResult]:
+    """Per-workload worker: footprint of every reported section."""
+    spec, instructions = args
+    trace = workload_trace(spec, instructions)
+    return {
+        section: analyze_footprint(trace, section) for section in sections_for(spec)
+    }
+
+
 def run_fig03(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     suites: Optional[Sequence[Suite]] = None,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Fig03Result:
-    """Regenerate the Figure 3 data."""
+    """Regenerate the Figure 3 data.
+
+    With ``run_parallel`` the per-workload analysis fans out across
+    worker processes.
+    """
     result = Fig03Result(instructions=instructions)
     for suite in suites or SUITE_ORDER:
         specs = suite_workloads(suites=[suite])
+        arguments = [(spec, instructions) for spec in specs]
+        rows = run_sweep(_workload_footprints, arguments, run_parallel, processes)
         static: Dict[CodeSection, List[float]] = {}
         dynamic: Dict[CodeSection, List[float]] = {}
-        for spec in specs:
-            trace = workload_trace(spec, instructions)
-            for section in sections_for(spec):
-                footprint = analyze_footprint(trace, section)
+        for spec, footprints in zip(specs, rows):
+            for section, footprint in footprints.items():
                 static.setdefault(section, []).append(footprint.static_kb)
                 dynamic.setdefault(section, []).append(footprint.dynamic_footprint_kb)
                 if section is CodeSection.TOTAL:
@@ -55,8 +74,8 @@ def run_fig03(
     return result
 
 
-def format_fig03(result: Fig03Result) -> str:
-    """Render the Figure 3 bars as a table (KB)."""
+def tables_fig03(result: Fig03Result) -> List[TableBlock]:
+    """Figure 3 bars as table blocks (KB)."""
     headers = ["suite", "section", "static [KB]", "99% dynamic [KB]"]
     rows = []
     for suite, sections in result.static_kb.items():
@@ -67,4 +86,18 @@ def format_fig03(result: Fig03Result) -> str:
                 f"{static_kb:.0f}",
                 f"{result.dynamic99_kb[suite][section]:.1f}",
             ])
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_fig03(result: Fig03Result) -> str:
+    """Render the Figure 3 bars as a table (KB)."""
+    return render_blocks(tables_fig03(result))
+
+
+SPEC = ExperimentSpec(
+    name="fig3",
+    title="Figure 3: static and 99%-dynamic instruction footprints per suite",
+    runner=run_fig03,
+    tables=tables_fig03,
+    workloads=default_workload_names,
+)

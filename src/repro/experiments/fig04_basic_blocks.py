@@ -5,15 +5,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.basic_blocks import analyze_basic_blocks
+from repro.analysis.basic_blocks import BasicBlockStats, analyze_basic_blocks
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
+    default_workload_names,
     mean,
+    render_blocks,
+    run_sweep,
     sections_for,
     suite_workloads,
     workload_trace,
 )
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import SUITE_ORDER, Suite
 
@@ -28,20 +32,36 @@ class Fig04Result:
     per_workload_block_bytes: Dict[str, float] = field(default_factory=dict)
 
 
+def _workload_blocks(args) -> Dict[CodeSection, BasicBlockStats]:
+    """Per-workload worker: block statistics of every reported section."""
+    spec, instructions = args
+    trace = workload_trace(spec, instructions)
+    return {
+        section: analyze_basic_blocks(trace, section)
+        for section in sections_for(spec)
+    }
+
+
 def run_fig04(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     suites: Optional[Sequence[Suite]] = None,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Fig04Result:
-    """Regenerate the Figure 4 data."""
+    """Regenerate the Figure 4 data.
+
+    With ``run_parallel`` the per-workload analysis fans out across
+    worker processes.
+    """
     result = Fig04Result(instructions=instructions)
     for suite in suites or SUITE_ORDER:
         specs = suite_workloads(suites=[suite])
+        arguments = [(spec, instructions) for spec in specs]
+        rows = run_sweep(_workload_blocks, arguments, run_parallel, processes)
         blocks: Dict[CodeSection, List[float]] = {}
         distances: Dict[CodeSection, List[float]] = {}
-        for spec in specs:
-            trace = workload_trace(spec, instructions)
-            for section in sections_for(spec):
-                stats = analyze_basic_blocks(trace, section)
+        for spec, stats_by_section in zip(specs, rows):
+            for section, stats in stats_by_section.items():
                 blocks.setdefault(section, []).append(stats.average_block_bytes)
                 distances.setdefault(section, []).append(
                     stats.average_taken_distance_bytes
@@ -70,8 +90,8 @@ def hpc_to_desktop_block_ratio(result: Fig04Result) -> float:
     return hpc / desktop
 
 
-def format_fig04(result: Fig04Result) -> str:
-    """Render the Figure 4 bars as a table (bytes)."""
+def tables_fig04(result: Fig04Result) -> List[TableBlock]:
+    """Figure 4 bars as table blocks (bytes)."""
     headers = ["suite", "section", "avg BBL [B]", "avg taken distance [B]"]
     rows = []
     for suite, sections in result.block_bytes.items():
@@ -82,4 +102,18 @@ def format_fig04(result: Fig04Result) -> str:
                 f"{block_bytes:.0f}",
                 f"{result.taken_distance_bytes[suite][section]:.0f}",
             ])
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_fig04(result: Fig04Result) -> str:
+    """Render the Figure 4 bars as a table (bytes)."""
+    return render_blocks(tables_fig04(result))
+
+
+SPEC = ExperimentSpec(
+    name="fig4",
+    title="Figure 4: basic-block length and distance between taken branches",
+    runner=run_fig04,
+    tables=tables_fig04,
+    workloads=default_workload_names,
+)

@@ -7,8 +7,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
+    default_workload_names,
     mean,
+    render_blocks,
     run_sweep,
     suite_workloads,
     workload_trace,
@@ -16,6 +17,8 @@ from repro.experiments.common import (
 from repro.frontend.predictors import make_predictor
 from repro.frontend.predictors.factory import predictor_configurations
 from repro.frontend.simulation import simulate_branch_predictors
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import SUITE_ORDER, Suite
 
@@ -83,12 +86,35 @@ def run_fig05(
     return result
 
 
-def format_fig05(result: Fig05Result) -> str:
-    """Render the Figure 5 bars as a table (MPKI)."""
+def tables_fig05(result: Fig05Result) -> List[TableBlock]:
+    """Figure 5 bars as table blocks (MPKI)."""
     headers = ["suite"] + result.configurations
     rows = []
     for suite, values in result.mpki.items():
         rows.append(
             [suite.label] + [f"{values[label]:.2f}" for label in result.configurations]
         )
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_fig05(result: Fig05Result) -> str:
+    """Render the Figure 5 bars as a table (MPKI)."""
+    return render_blocks(tables_fig05(result))
+
+
+def _constants() -> Dict[str, object]:
+    """Key material: the nine predictor configurations Figure 5 sweeps."""
+    return {
+        "configurations": [label for label, _, _, _ in predictor_configurations()],
+        "section": CodeSection.TOTAL.name,
+    }
+
+
+SPEC = ExperimentSpec(
+    name="fig5",
+    title="Figure 5: branch MPKI per predictor configuration and suite",
+    runner=run_fig05,
+    tables=tables_fig05,
+    workloads=default_workload_names,
+    constants=_constants,
+)

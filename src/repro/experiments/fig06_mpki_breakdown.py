@@ -11,12 +11,15 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
+    render_blocks,
+    run_sweep,
     suite_workloads,
     workload_trace,
 )
 from repro.frontend.predictors import make_predictor
 from repro.frontend.simulation import simulate_branch_predictors
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 
 #: The benchmarks shown in Figure 6 of the paper.
 FIGURE6_WORKLOADS = (
@@ -48,29 +51,44 @@ class Fig06Result:
         return sum(self.breakdown[workload][config].values())
 
 
+def _workload_breakdown(args) -> Dict[str, Dict[str, float]]:
+    """Per-workload worker: MPKI breakdown of every Figure 6 config."""
+    spec, instructions = args
+    trace = workload_trace(spec, instructions)
+    predictors = [
+        make_predictor(kind, budget, with_loop)
+        for _, kind, budget, with_loop in FIGURE6_CONFIGS
+    ]
+    outcomes = simulate_branch_predictors(trace, predictors)
+    return {
+        label: outcome.breakdown_mpki()
+        for (label, _, _, _), outcome in zip(FIGURE6_CONFIGS, outcomes)
+    }
+
+
 def run_fig06(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     workloads: Optional[Sequence[str]] = None,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Fig06Result:
-    """Regenerate the Figure 6 data."""
+    """Regenerate the Figure 6 data.
+
+    With ``run_parallel`` the per-workload simulation fans out across
+    worker processes.
+    """
     names = list(workloads or FIGURE6_WORKLOADS)
     result = Fig06Result(instructions=instructions, workloads=names)
-    for spec in suite_workloads(names=names):
-        trace = workload_trace(spec, instructions)
-        predictors = [
-            make_predictor(kind, budget, with_loop)
-            for _, kind, budget, with_loop in FIGURE6_CONFIGS
-        ]
-        outcomes = simulate_branch_predictors(trace, predictors)
-        result.breakdown[spec.name] = {
-            label: outcome.breakdown_mpki()
-            for (label, _, _, _), outcome in zip(FIGURE6_CONFIGS, outcomes)
-        }
+    specs = suite_workloads(names=names)
+    arguments = [(spec, instructions) for spec in specs]
+    rows = run_sweep(_workload_breakdown, arguments, run_parallel, processes)
+    for spec, breakdown in zip(specs, rows):
+        result.breakdown[spec.name] = breakdown
     return result
 
 
-def format_fig06(result: Fig06Result) -> str:
-    """Render the Figure 6 stacked bars as a table (MPKI)."""
+def tables_fig06(result: Fig06Result) -> List[TableBlock]:
+    """Figure 6 stacked bars as table blocks (MPKI)."""
     headers = ["workload", "config"] + list(BREAKDOWN_CLASSES) + ["total"]
     rows = []
     for workload in result.workloads:
@@ -81,4 +99,24 @@ def format_fig06(result: Fig06Result) -> str:
                 + [f"{breakdown[cls]:.2f}" for cls in BREAKDOWN_CLASSES]
                 + [f"{result.total_mpki(workload, label):.2f}"]
             )
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_fig06(result: Fig06Result) -> str:
+    """Render the Figure 6 stacked bars as a table (MPKI)."""
+    return render_blocks(tables_fig06(result))
+
+
+def _constants() -> Dict[str, object]:
+    """Key material: the gshare configurations Figure 6 compares."""
+    return {"configurations": [label for label, _, _, _ in FIGURE6_CONFIGS]}
+
+
+SPEC = ExperimentSpec(
+    name="fig6",
+    title="Figure 6: branch MPKI breakdown for gshare on a workload subset",
+    runner=run_fig06,
+    tables=tables_fig06,
+    workloads=lambda: tuple(FIGURE6_WORKLOADS),
+    constants=_constants,
+)

@@ -7,13 +7,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
+    default_workload_names,
     mean,
+    render_blocks,
     run_sweep,
     suite_workloads,
     workload_trace,
 )
 from repro.frontend.simulation import simulate_btb
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.workloads.suites import SUITE_ORDER, Suite
 
 
@@ -71,12 +74,32 @@ def run_fig07(
     return result
 
 
-def format_fig07(result: Fig07Result) -> str:
-    """Render the Figure 7 bars as a table (MPKI)."""
+def tables_fig07(result: Fig07Result) -> List[TableBlock]:
+    """Figure 7 bars as table blocks (MPKI)."""
     headers = ["suite"] + [f"{e}e/{a}w" for e, a in result.geometries]
     rows = []
     for suite, values in result.mpki.items():
         rows.append(
             [suite.label] + [f"{values[g]:.2f}" for g in result.geometries]
         )
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_fig07(result: Fig07Result) -> str:
+    """Render the Figure 7 bars as a table (MPKI)."""
+    return render_blocks(tables_fig07(result))
+
+
+def _constants() -> Dict[str, object]:
+    """Key material: the BTB geometry grid Figure 7 sweeps."""
+    return {"geometries": [list(geometry) for geometry in BTB_GEOMETRIES]}
+
+
+SPEC = ExperimentSpec(
+    name="fig7",
+    title="Figure 7: BTB MPKI for different entry counts and associativities",
+    runner=run_fig07,
+    tables=tables_fig07,
+    workloads=default_workload_names,
+    constants=_constants,
+)

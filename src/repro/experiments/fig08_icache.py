@@ -7,13 +7,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
+    default_workload_names,
     mean,
+    render_blocks,
     run_sweep,
     suite_workloads,
     workload_trace,
 )
 from repro.frontend.simulation import simulate_icache
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.workloads.suites import SUITE_ORDER, Suite
 
 
@@ -77,12 +80,35 @@ def run_fig08(
     return result
 
 
-def format_fig08(result: Fig08Result) -> str:
-    """Render the Figure 8 bars as a table (MPKI)."""
+def tables_fig08(result: Fig08Result) -> List[TableBlock]:
+    """Figure 8 bars as table blocks (MPKI)."""
     headers = ["suite"] + [f"{kb}KB/{a}w" for kb, a in result.geometries]
     rows = []
     for suite, values in result.mpki.items():
         rows.append(
             [suite.label] + [f"{values[g]:.2f}" for g in result.geometries]
         )
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_fig08(result: Fig08Result) -> str:
+    """Render the Figure 8 bars as a table (MPKI)."""
+    return render_blocks(tables_fig08(result))
+
+
+def _constants() -> Dict[str, object]:
+    """Key material: the I-cache geometry grid Figure 8 sweeps."""
+    return {
+        "geometries": [list(geometry) for geometry in ICACHE_GEOMETRIES],
+        "line_bytes": LINE_BYTES,
+    }
+
+
+SPEC = ExperimentSpec(
+    name="fig8",
+    title="Figure 8: I-cache MPKI for different sizes and associativities",
+    runner=run_fig08,
+    tables=tables_fig08,
+    workloads=default_workload_names,
+    constants=_constants,
+)

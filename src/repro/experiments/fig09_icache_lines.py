@@ -8,11 +8,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.line_usefulness import analyze_line_usefulness
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
+    render_blocks,
+    run_sweep,
     suite_workloads,
     workload_trace,
 )
 from repro.frontend.simulation import simulate_icache
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 
 #: The benchmarks shown in Figure 9 of the paper.
 FIGURE9_WORKLOADS = ("CoEVP", "CoGL", "fma3d", "xalancbmk", "omnetpp")
@@ -40,32 +43,47 @@ class Fig09Result:
     usefulness_128: Dict[str, float] = field(default_factory=dict)
 
 
+def _workload_lines(args) -> Tuple[Dict[Tuple[int, int], float], float]:
+    """Per-workload worker: every line geometry plus 128B usefulness."""
+    spec, instructions, geometries = args
+    trace = workload_trace(spec, instructions)
+    mpki = {
+        (line_bytes, associativity): simulate_icache(
+            trace,
+            size_bytes=CACHE_SIZE_BYTES,
+            line_bytes=line_bytes,
+            associativity=associativity,
+        ).mpki
+        for line_bytes, associativity in geometries
+    }
+    usefulness = analyze_line_usefulness(trace, line_bytes=128).average_usefulness
+    return mpki, usefulness
+
+
 def run_fig09(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     workloads: Optional[Sequence[str]] = None,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Fig09Result:
-    """Regenerate the Figure 9 data."""
+    """Regenerate the Figure 9 data.
+
+    With ``run_parallel`` the per-workload simulation fans out across
+    worker processes.
+    """
     names = list(workloads or FIGURE9_WORKLOADS)
     result = Fig09Result(instructions=instructions, workloads=names)
-    for spec in suite_workloads(names=names):
-        trace = workload_trace(spec, instructions)
-        result.mpki[spec.name] = {}
-        for line_bytes, associativity in result.geometries:
-            mpki = simulate_icache(
-                trace,
-                size_bytes=CACHE_SIZE_BYTES,
-                line_bytes=line_bytes,
-                associativity=associativity,
-            ).mpki
-            result.mpki[spec.name][(line_bytes, associativity)] = mpki
-        result.usefulness_128[spec.name] = analyze_line_usefulness(
-            trace, line_bytes=128
-        ).average_usefulness
+    specs = suite_workloads(names=names)
+    arguments = [(spec, instructions, tuple(result.geometries)) for spec in specs]
+    rows = run_sweep(_workload_lines, arguments, run_parallel, processes)
+    for spec, (mpki, usefulness) in zip(specs, rows):
+        result.mpki[spec.name] = mpki
+        result.usefulness_128[spec.name] = usefulness
     return result
 
 
-def format_fig09(result: Fig09Result) -> str:
-    """Render the Figure 9 bars as a table (MPKI, plus 128B usefulness)."""
+def tables_fig09(result: Fig09Result) -> List[TableBlock]:
+    """Figure 9 bars as table blocks (MPKI, plus 128B usefulness)."""
     headers = (
         ["workload"]
         + [f"{lb}B/{a}w" for lb, a in result.geometries]
@@ -78,4 +96,27 @@ def format_fig09(result: Fig09Result) -> str:
             + [f"{result.mpki[workload][g]:.2f}" for g in result.geometries]
             + [f"{100 * result.usefulness_128[workload]:.0f}%"]
         )
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_fig09(result: Fig09Result) -> str:
+    """Render the Figure 9 bars as a table (MPKI, plus 128B usefulness)."""
+    return render_blocks(tables_fig09(result))
+
+
+def _constants() -> Dict[str, object]:
+    """Key material: the line geometry grid and fixed cache size."""
+    return {
+        "geometries": [list(geometry) for geometry in LINE_GEOMETRIES],
+        "cache_size_bytes": CACHE_SIZE_BYTES,
+    }
+
+
+SPEC = ExperimentSpec(
+    name="fig9",
+    title="Figure 9: I-cache MPKI versus line width for specific benchmarks",
+    runner=run_fig09,
+    tables=tables_fig09,
+    workloads=lambda: tuple(FIGURE9_WORKLOADS),
+    constants=_constants,
+)

@@ -7,13 +7,16 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
+    default_workload_names,
     mean,
     normalize_to_reference,
+    render_blocks,
     run_sweep,
     suite_workloads,
 )
 from repro.power.cmp_power import evaluate_cmp_energy
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.uarch.cmp import STANDARD_CMP_CONFIGS, CmpConfig
 from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
 from repro.workloads.suites import SUITE_ORDER, Suite
@@ -93,8 +96,8 @@ def run_fig10(
     return result
 
 
-def format_fig10(result: Fig10Result) -> str:
-    """Render the Figure 10 bars as a table (normalized to Baseline CMP)."""
+def tables_fig10(result: Fig10Result) -> List[TableBlock]:
+    """Figure 10 bars as table blocks (normalized to Baseline CMP)."""
     headers = ["suite", "metric"] + result.cmp_names
     rows = []
     for suite, metrics in result.normalized.items():
@@ -103,4 +106,27 @@ def format_fig10(result: Fig10Result) -> str:
                 [suite.label, metric]
                 + [f"{metrics[metric][name]:.3f}" for name in result.cmp_names]
             )
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_fig10(result: Fig10Result) -> str:
+    """Render the Figure 10 bars as a table (normalized to Baseline CMP)."""
+    return render_blocks(tables_fig10(result))
+
+
+def _constants() -> Dict[str, object]:
+    """Key material: the four Section V chips and reported metrics."""
+    return {
+        "cmp_names": [cmp.name for cmp in STANDARD_CMP_CONFIGS],
+        "metrics": list(FIG10_METRICS),
+    }
+
+
+SPEC = ExperimentSpec(
+    name="fig10",
+    title="Figure 10: normalized execution time, power, energy, and ED per CMP",
+    runner=run_fig10,
+    tables=tables_fig10,
+    workloads=default_workload_names,
+    constants=_constants,
+)

@@ -7,11 +7,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
     normalize_to_reference,
+    render_blocks,
     run_sweep,
     suite_workloads,
 )
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.uarch.cmp import STANDARD_CMP_CONFIGS, CmpConfig
 from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
 
@@ -69,8 +71,8 @@ def run_fig11(
     return result
 
 
-def format_fig11(result: Fig11Result) -> str:
-    """Render the Figure 11 bars as a table."""
+def tables_fig11(result: Fig11Result) -> List[TableBlock]:
+    """Figure 11 bars as table blocks."""
     headers = ["workload"] + result.cmp_names
     rows = []
     for workload in result.workloads:
@@ -78,4 +80,63 @@ def format_fig11(result: Fig11Result) -> str:
             [workload]
             + [f"{result.normalized_time[workload][name]:.3f}" for name in result.cmp_names]
         )
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_fig11(result: Fig11Result) -> str:
+    """Render the Figure 11 bars as a table."""
+    return render_blocks(tables_fig11(result))
+
+
+def _derive_from_fig10(dependencies, config) -> Optional[Fig11Result]:
+    """Build the Figure 11 result from a Figure 10 artifact.
+
+    Figure 11 is a per-benchmark slice of Figure 10's normalized
+    execution-time metric, so when a compatible Figure 10 artifact is
+    available (same instruction budget, the standard chips, and
+    coverage of every Figure 11 benchmark) the result can be assembled
+    without simulating anything.  The sliced values are the very floats
+    Figure 10 computed, so the derived artifact is bit-identical to a
+    directly computed one.
+    """
+    fig10 = dependencies.get("fig10")
+    if fig10 is None:
+        return None
+    payload = fig10.get("payload") or {}
+    if payload.get("instructions") != config.get("instructions"):
+        return None
+    cmp_names = list(payload.get("cmp_names") or [])
+    if cmp_names != [cmp.name for cmp in STANDARD_CMP_CONFIGS]:
+        return None
+    per_workload = payload.get("per_workload") or {}
+    names = list(FIGURE11_WORKLOADS)
+    if any(name not in per_workload for name in names):
+        return None
+    result = Fig11Result(
+        instructions=int(config["instructions"]),
+        cmp_names=cmp_names,
+        workloads=names,
+    )
+    for name in names:
+        times = per_workload[name].get("execution time")
+        if times is None or any(cmp not in times for cmp in cmp_names):
+            return None
+        result.normalized_time[name] = {cmp: float(times[cmp]) for cmp in cmp_names}
+    return result
+
+
+def _constants() -> Dict[str, object]:
+    """Key material: the four Section V chips Figure 11 compares."""
+    return {"cmp_names": [cmp.name for cmp in STANDARD_CMP_CONFIGS]}
+
+
+SPEC = ExperimentSpec(
+    name="fig11",
+    title="Figure 11: per-benchmark execution time normalized to the Baseline CMP",
+    runner=run_fig11,
+    tables=tables_fig11,
+    workloads=lambda: tuple(FIGURE11_WORKLOADS),
+    constants=_constants,
+    dependencies=("fig10",),
+    derive=_derive_from_fig10,
+)

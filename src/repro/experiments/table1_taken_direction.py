@@ -8,12 +8,16 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.branch_bias import analyze_taken_directions
 from repro.experiments.common import (
     DEFAULT_EXPERIMENT_INSTRUCTIONS,
-    format_table,
+    default_workload_names,
     mean,
+    render_blocks,
+    run_sweep,
     sections_for,
     suite_workloads,
     workload_trace,
 )
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import SUITE_ORDER, Suite
 
@@ -31,28 +35,44 @@ class Table1Result:
         return 1.0 - self.backward[suite][section]
 
 
+def _workload_directions(args) -> Dict[CodeSection, float]:
+    """Per-workload worker: backward-taken share of every section."""
+    spec, instructions = args
+    trace = workload_trace(spec, instructions)
+    return {
+        section: analyze_taken_directions(trace, section).backward_fraction
+        for section in sections_for(spec)
+    }
+
+
 def run_table1(
     instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
     suites: Optional[Sequence[Suite]] = None,
+    run_parallel: bool = False,
+    processes: Optional[int] = None,
 ) -> Table1Result:
-    """Regenerate the Table I data."""
+    """Regenerate the Table I data.
+
+    With ``run_parallel`` the per-workload analysis fans out across
+    worker processes.
+    """
     result = Table1Result(instructions=instructions)
     for suite in suites or SUITE_ORDER:
         specs = suite_workloads(suites=[suite])
+        arguments = [(spec, instructions) for spec in specs]
+        rows = run_sweep(_workload_directions, arguments, run_parallel, processes)
         per_section: Dict[CodeSection, List[float]] = {}
-        for spec in specs:
-            trace = workload_trace(spec, instructions)
-            for section in sections_for(spec):
-                split = analyze_taken_directions(trace, section)
-                per_section.setdefault(section, []).append(split.backward_fraction)
+        for spec, fractions in zip(specs, rows):
+            for section, backward in fractions.items():
+                per_section.setdefault(section, []).append(backward)
         result.backward[suite] = {
             section: mean(values) for section, values in per_section.items()
         }
     return result
 
 
-def format_table1(result: Table1Result) -> str:
-    """Render Table I (percent backward / forward per code section)."""
+def tables_table1(result: Table1Result) -> List[TableBlock]:
+    """Table I as table blocks (percent backward / forward per section)."""
     headers = ["suite", "serial backward", "serial forward", "parallel backward", "parallel forward"]
     rows = []
     for suite, sections in result.backward.items():
@@ -70,4 +90,18 @@ def format_table1(result: Table1Result) -> str:
                 suite.label,
                 f"{100 * total:.0f}%", f"{100 * (1 - total):.0f}%", "-", "-",
             ])
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render Table I (percent backward / forward per code section)."""
+    return render_blocks(tables_table1(result))
+
+
+SPEC = ExperimentSpec(
+    name="table1",
+    title="Table I: backward versus forward taken branches per suite and section",
+    runner=run_table1,
+    tables=tables_table1,
+    workloads=default_workload_names,
+)

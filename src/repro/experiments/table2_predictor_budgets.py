@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.experiments.common import format_table, run_sweep
+from repro.experiments.common import render_blocks, run_sweep
 from repro.frontend.predictors import make_predictor
 from repro.frontend.predictors.factory import PREDICTOR_KINDS, SIZE_PARAMETERS
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 
 
 @dataclass
@@ -57,8 +59,8 @@ def run_table2(
     return result
 
 
-def format_table2(result: Table2Result) -> str:
-    """Render Table II (predictor budgets)."""
+def tables_table2(result: Table2Result) -> List[TableBlock]:
+    """Table II as table blocks (predictor budgets)."""
     headers = ["predictor", "budget", "size parameters", "cost [KB]"]
     rows = []
     for (kind, budget), bits in result.storage_bits.items():
@@ -70,4 +72,26 @@ def format_table2(result: Table2Result) -> str:
         "loop predictor", "64-entry", "side predictor",
         f"{result.loop_predictor_bits / 8192.0:.2f}",
     ])
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render Table II (predictor budgets)."""
+    return render_blocks(tables_table2(result))
+
+
+def _constants() -> Mapping[str, object]:
+    """Key material: the predictor configuration grid Table II sizes."""
+    return {
+        "predictor_kinds": list(PREDICTOR_KINDS),
+        "budgets": ["small", "big"],
+    }
+
+
+SPEC = ExperimentSpec(
+    name="table2",
+    title="Table II: branch predictor size parameters and hardware cost",
+    runner=run_table2,
+    tables=tables_table2,
+    constants=_constants,
+)

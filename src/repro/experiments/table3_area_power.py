@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.common import format_table, run_sweep
+from repro.experiments.common import render_blocks, run_sweep
 from repro.power.core_power import CoreAreaPower, core_area_power
+from repro.results.artifacts import TableBlock, block
+from repro.results.spec import ExperimentSpec
 from repro.uarch.core import BASELINE_CORE, TAILORED_CORE, CoreModel
 
 #: The paper's Table III values (40nm, McPAT + CACTI) for comparison.
@@ -70,8 +72,8 @@ def run_table3(
     return result
 
 
-def format_table3(result: Table3Result) -> str:
-    """Render Table III with the paper's values side by side."""
+def tables_table3(result: Table3Result) -> List[TableBlock]:
+    """Table III as table blocks, with the paper's values side by side."""
     headers = ["core", "structure", "area [mm2]", "paper area", "power [W]", "paper power"]
     rows = []
     for core_name, budget in result.cores.items():
@@ -96,4 +98,23 @@ def format_table3(result: Table3Result) -> str:
     rows.append([
         "tailored/baseline", "power ratio", f"{result.power_ratio():.2f}", "0.93", "", "",
     ])
-    return format_table(headers, rows)
+    return [block(headers, rows)]
+
+
+def format_table3(result: Table3Result) -> str:
+    """Render Table III with the paper's values side by side."""
+    return render_blocks(tables_table3(result))
+
+
+def _constants() -> Dict[str, object]:
+    """Key material: the two core flavours Table III budgets."""
+    return {"cores": [BASELINE_CORE.name, TAILORED_CORE.name]}
+
+
+SPEC = ExperimentSpec(
+    name="table3",
+    title="Table III: front-end area and power share at the core level",
+    runner=run_table3,
+    tables=tables_table3,
+    constants=_constants,
+)

@@ -1,0 +1,198 @@
+"""Experiment artifacts: the stored/emitted form of a result.
+
+An *artifact* is the JSON-serializable distillation of one experiment
+result: the rendered table blocks (exactly what the CLI prints) plus a
+structured payload (the raw numbers, for plotting).  Artifacts are what
+the content-addressed result store persists and what the manifest
+directory emits as CSV+JSON, so a store hit reproduces the original
+outputs bit for bit without re-running any simulation.
+
+This module is dependency-free on purpose: the experiment drivers, the
+store, and the orchestrator all import it without creating a layering
+cycle.
+"""
+
+from __future__ import annotations
+
+import csv
+import enum
+import json
+import os
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Version of the artifact schema, folded into the result-store key so
+#: a schema change invalidates stored entries instead of corrupting
+#: readers.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TableBlock:
+    """One rendered table of an experiment artifact.
+
+    ``title`` is the human-readable block header (may span lines, shown
+    by the CLI); ``name`` is a short machine-readable block label used
+    as the leading CSV column of multi-table artifacts (e.g. the
+    scenario name of a ``cmpsweep`` block).
+    """
+
+    headers: Tuple[str, ...]
+    rows: Tuple[Tuple[str, ...], ...]
+    title: Optional[str] = None
+    name: Optional[str] = None
+
+
+def block(
+    headers: Sequence[object],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    name: Optional[str] = None,
+) -> TableBlock:
+    """Build a :class:`TableBlock`, coercing every cell to a string."""
+    return TableBlock(
+        headers=tuple(str(header) for header in headers),
+        rows=tuple(tuple(str(cell) for cell in row) for row in rows),
+        title=title,
+        name=name,
+    )
+
+
+def _key_string(key: object) -> str:
+    """Deterministic string form of a mapping key for the payload."""
+    if isinstance(key, str):
+        return key
+    if isinstance(key, enum.Enum):
+        return key.name
+    if isinstance(key, tuple):
+        return ",".join(_key_string(part) for part in key)
+    return str(key)
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert a result object into plain JSON-serializable data.
+
+    Handles dataclasses (field by field), enums (by ``name``), mappings
+    (keys stringified via :func:`_key_string`), sequences, and NumPy
+    scalars/arrays (via ``item``/``tolist``); everything else must
+    already be a JSON scalar.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, dict):
+        return {_key_string(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()  # NumPy scalar.
+    if hasattr(value, "tolist"):
+        return value.tolist()  # NumPy array.
+    return str(value)
+
+
+def build_artifact(
+    experiment: str,
+    title: str,
+    blocks: Sequence[TableBlock],
+    payload: Any,
+) -> Dict[str, Any]:
+    """Assemble the stored/emitted artifact of one experiment result."""
+    return {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "experiment": experiment,
+        "title": title,
+        "tables": [
+            {
+                "title": item.title,
+                "name": item.name,
+                "headers": list(item.headers),
+                "rows": [list(row) for row in item.rows],
+            }
+            for item in blocks
+        ],
+        "payload": to_jsonable(payload),
+    }
+
+
+def artifact_blocks(artifact: Dict[str, Any]) -> List[TableBlock]:
+    """Reconstruct the table blocks of a (possibly disk-loaded) artifact."""
+    return [
+        TableBlock(
+            headers=tuple(table["headers"]),
+            rows=tuple(tuple(row) for row in table["rows"]),
+            title=table.get("title"),
+            name=table.get("name"),
+        )
+        for table in artifact["tables"]
+    ]
+
+
+def valid_artifact(artifact: Any, experiment: Optional[str] = None) -> bool:
+    """Whether a value (e.g. loaded from disk) is a usable artifact."""
+    if not isinstance(artifact, dict):
+        return False
+    if artifact.get("schema") != ARTIFACT_SCHEMA_VERSION:
+        return False
+    if experiment is not None and artifact.get("experiment") != experiment:
+        return False
+    tables = artifact.get("tables")
+    if not isinstance(tables, list):
+        return False
+    for table in tables:
+        if not isinstance(table, dict):
+            return False
+        if not isinstance(table.get("headers"), list):
+            return False
+        if not isinstance(table.get("rows"), list):
+            return False
+    return "payload" in artifact
+
+
+def write_artifact_json(artifact: Dict[str, Any], path: str) -> None:
+    """Emit an artifact as a pretty-printed JSON file.
+
+    The serialization is deterministic for a given artifact (insertion
+    order is preserved by both ``json.dump`` and a disk-store round
+    trip), so cold and store-served runs emit identical bytes.
+    """
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(artifact, stream, indent=2)
+        stream.write("\n")
+
+
+def write_artifact_csv(artifact: Dict[str, Any], path: str) -> None:
+    """Emit an artifact's tables as one CSV file.
+
+    Single-table artifacts become a plain header+rows CSV.  Multi-table
+    artifacts (``cmpsweep``) gain a leading ``table`` column carrying
+    each block's short name; the shared header row is emitted once when
+    every block agrees on it, and per block otherwise, so rows always
+    sit under the headers that describe them.
+    """
+    blocks = artifact_blocks(artifact)
+    multi = len(blocks) > 1
+    shared_headers = len({item.headers for item in blocks}) == 1
+    with open(path, "w", newline="", encoding="utf-8") as stream:
+        writer = csv.writer(stream)
+        for index, item in enumerate(blocks):
+            if multi:
+                if index == 0 or not shared_headers:
+                    writer.writerow(("table",) + item.headers)
+                label = item.name or str(index)
+                for row in item.rows:
+                    writer.writerow((label,) + row)
+            else:
+                writer.writerow(item.headers)
+                writer.writerows(item.rows)
+
+
+def ensure_directory(path: str) -> None:
+    """Create a manifest/output directory if it does not exist."""
+    os.makedirs(path, exist_ok=True)

@@ -1,0 +1,268 @@
+"""Content-addressed experiment result store (memory + optional disk).
+
+Every experiment result is keyed by a SHA-256 digest of its *complete*
+provenance: the experiment name, the full semantic configuration
+(instruction budget, geometries, scenario names, CMP names, ...), the
+workload set it ran over, the RNG seed, and the code-relevant engine
+versions (the trace-cache version plus this store's own version and the
+artifact schema).  Two processes that would compute the same numbers
+therefore derive the same key, and any change that could alter the
+numbers derives a different one.
+
+The store mirrors :mod:`repro.workloads.trace_cache`: an in-process
+dictionary layer is always on, and an optional XDG-style disk layer is
+controlled by the ``REPRO_RESULT_CACHE_DIR`` environment variable
+(unset means "no disk layer" for library use; the CLI enables the
+per-user default via :func:`enable_shared_result_store`; ``none``/
+``off``/``0``/empty disables it everywhere).  Disk entries are written
+atomically (write-then-rename), and corrupt or truncated entries are
+treated as misses so a damaged cache can only cost a recompute, never
+a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.results.artifacts import ARTIFACT_SCHEMA_VERSION, valid_artifact
+from repro.workloads.trace_cache import TRACE_CACHE_VERSION, register_stats_provider
+
+#: Environment variable selecting the on-disk result-store directory.
+RESULT_CACHE_DIR_VARIABLE = "REPRO_RESULT_CACHE_DIR"
+
+#: Version salt folded into every result key.  Bump when experiment
+#: semantics change in a way the configuration cannot see.
+RESULT_STORE_VERSION = 1
+
+#: Values of :data:`RESULT_CACHE_DIR_VARIABLE` that disable the disk
+#: layer outright (case-insensitive), matching the trace cache.
+_DISK_DISABLE_VALUES = frozenset({"", "0", "none", "off", "disabled"})
+
+#: Memoized digest of the package source (see :func:`code_fingerprint`).
+_CODE_FINGERPRINT: Optional[str] = None
+
+#: In-process layer: key digest -> artifact.
+_MEMORY: Dict[str, Dict[str, Any]] = {}
+_LOCK = threading.Lock()
+_STATS = {
+    "hits": 0,
+    "misses": 0,
+    "stores": 0,
+    "disk_hits": 0,
+    "disk_misses": 0,
+    "disk_stores": 0,
+}
+
+
+def default_result_store_dir() -> str:
+    """Per-user shared result-store directory (platformdirs-style)."""
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-frontend", "results")
+
+
+def resolved_result_dir() -> Optional[str]:
+    """The active disk-store directory, or ``None`` when disabled."""
+    value = os.environ.get(RESULT_CACHE_DIR_VARIABLE)
+    if value is None:
+        return None
+    if value.strip().lower() in _DISK_DISABLE_VALUES:
+        return None
+    return value
+
+
+def enable_shared_result_store() -> Optional[str]:
+    """Turn the disk layer on, defaulting to the per-user directory.
+
+    Called by the CLI before orchestrated runs: when the directory
+    variable is unset it is exported (so ``--parallel`` workers and
+    later processes inherit it); an explicit path or disable value is
+    left untouched.  Returns the active directory, or ``None`` when
+    explicitly disabled.
+    """
+    if os.environ.get(RESULT_CACHE_DIR_VARIABLE) is None:
+        os.environ[RESULT_CACHE_DIR_VARIABLE] = default_result_store_dir()
+    return resolved_result_dir()
+
+
+def code_fingerprint() -> str:
+    """Digest of the installed ``repro`` package source (memoized).
+
+    Folded into every result key so *any* code change invalidates
+    stored results instead of silently serving pre-change numbers --
+    the store never has to trust a manual version bump.  Conservative
+    on purpose: a docstring edit costs a recompute, a semantics edit
+    can never reuse a stale entry.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+
+        package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for root, directories, files in sorted(os.walk(package_dir)):
+            directories.sort()
+            for name in sorted(files):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(root, name)
+                digest.update(os.path.relpath(path, package_dir).encode("utf-8"))
+                with open(path, "rb") as stream:
+                    digest.update(stream.read())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def result_key(
+    experiment: str,
+    config: Mapping[str, Any],
+    workloads: Sequence[str],
+    seed: int = 0,
+) -> str:
+    """Content-address of one experiment result.
+
+    The key material is serialized as canonical JSON (sorted keys, no
+    whitespace), so the digest is stable across processes, platforms,
+    and dictionary insertion orders.  The package source fingerprint is
+    part of the material, so results computed by different code never
+    share a key.
+    """
+    material = {
+        "experiment": experiment,
+        "config": config,
+        "workloads": list(workloads),
+        "seed": int(seed),
+        "versions": {
+            "artifact_schema": ARTIFACT_SCHEMA_VERSION,
+            "code": code_fingerprint(),
+            "result_store": RESULT_STORE_VERSION,
+            "trace_cache": TRACE_CACHE_VERSION,
+        },
+    }
+    canonical = json.dumps(
+        material, sort_keys=True, separators=(",", ":"), default=_canonical_default
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _canonical_default(value: Any) -> Any:
+    """JSON fallback for key material (enums by name, sets sorted)."""
+    if hasattr(value, "name") and hasattr(value, "value"):
+        return value.name  # Enum members.
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"unhashable result-key component: {value!r}")
+
+
+def load_result(key: str, experiment: Optional[str] = None) -> Optional[Dict[str, Any]]:
+    """Fetch a stored artifact by key, memory layer first, then disk.
+
+    A disk hit is promoted into the memory layer.  Returns ``None`` on
+    a miss (including corrupt, truncated, or mismatched disk entries).
+    """
+    with _LOCK:
+        cached = _MEMORY.get(key)
+        if cached is not None:
+            _STATS["hits"] += 1
+            return cached
+        _STATS["misses"] += 1
+
+    if resolved_result_dir() is None:
+        return None
+    artifact = _load_from_disk(key, experiment)
+    with _LOCK:
+        if artifact is None:
+            _STATS["disk_misses"] += 1
+            return None
+        _STATS["disk_hits"] += 1
+        _MEMORY[key] = artifact
+    return artifact
+
+
+def store_result(key: str, artifact: Dict[str, Any]) -> None:
+    """Insert an artifact under its key (memory, then best-effort disk)."""
+    with _LOCK:
+        _MEMORY[key] = artifact
+        _STATS["stores"] += 1
+    if _store_to_disk(key, artifact):
+        with _LOCK:
+            _STATS["disk_stores"] += 1
+
+
+def clear_result_store() -> None:
+    """Drop the in-process layer and reset the counters (tests).
+
+    The disk layer is left untouched -- it is the cross-process layer a
+    resumed run replays from.
+    """
+    with _LOCK:
+        _MEMORY.clear()
+        for counter in _STATS:
+            _STATS[counter] = 0
+
+
+def result_store_info() -> Dict[str, int]:
+    """Hit/miss/store counters of the result store (both layers)."""
+    with _LOCK:
+        info = dict(_STATS)
+        info["entries"] = len(_MEMORY)
+        return info
+
+
+def _entry_path(key: str) -> Optional[str]:
+    directory = resolved_result_dir()
+    if directory is None:
+        return None
+    return os.path.join(directory, f"{key[:32]}.json")
+
+
+def _load_from_disk(key: str, experiment: Optional[str]) -> Optional[Dict[str, Any]]:
+    path = _entry_path(key)
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            entry = json.load(stream)
+    except (OSError, ValueError):
+        return None  # Truncated or corrupt entry: fall back to recompute.
+    if not isinstance(entry, dict) or entry.get("key") != key:
+        return None
+    artifact = entry.get("artifact")
+    if not valid_artifact(artifact, experiment):
+        return None
+    return artifact
+
+
+def _store_to_disk(key: str, artifact: Dict[str, Any]) -> bool:
+    path = _entry_path(key)
+    if path is None:
+        return False
+    # Write-then-rename keeps the store atomic: concurrent writers (the
+    # orchestrator's --parallel workers, overlapping CLI invocations)
+    # may race on the same key, and a reader must never observe a
+    # half-written entry.  Last writer wins with identical content.
+    temporary = None
+    try:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle, temporary = tempfile.mkstemp(suffix=".json.tmp", dir=directory)
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump({"key": key, "artifact": artifact}, stream)
+        os.replace(temporary, path)
+    except OSError:
+        if temporary is not None:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+        return False  # Disk store is best-effort.
+    return True
+
+
+register_stats_provider("results", result_store_info)

@@ -17,7 +17,7 @@ buffers (:class:`~repro.trace.buffers.ColumnBuffer`) the columnar
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -19,7 +19,6 @@ from repro.trace.instruction import TEXT_BASE_ADDRESS
 from repro.trace.program import (
     CallRegion,
     CodeRegion,
-    Function,
     If,
     IndirectCallRegion,
     IndirectJumpRegion,

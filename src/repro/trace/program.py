@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence as Seq, Tuple
+from typing import Iterator, List, Optional, Sequence as Seq
 
 from repro.trace.basic_block import BasicBlock
 from repro.trace.instruction import BranchKind

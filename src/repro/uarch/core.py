@@ -9,7 +9,7 @@ sets up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.frontend.configs import BASELINE_FRONTEND, TAILORED_FRONTEND, FrontEndConfig
 

@@ -28,6 +28,7 @@ from repro.workloads.synthesis import SyntheticWorkload
 from repro.workloads.trace_cache import (
     DEFAULT_PROFILE_INSTRUCTIONS,
     register_cache_clearer,
+    register_stats_provider,
     workload_trace,
 )
 
@@ -115,6 +116,7 @@ def profile_cache_info() -> Dict[str, int]:
 # must drop them too (otherwise a cleared-and-regenerated trace could
 # coexist with profiles of its predecessor).
 register_cache_clearer(clear_profile_cache)
+register_stats_provider("profiles", profile_cache_info)
 
 
 def profile_workload_frontend(

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Optional
-
 from repro.workloads.suites import Suite
 
 

@@ -21,7 +21,6 @@ looking artificial.
 from __future__ import annotations
 
 import functools
-import math
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

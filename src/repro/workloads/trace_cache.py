@@ -73,6 +73,29 @@ _TRACE_CACHE_STATS = {
 #: without this module importing them.
 _CLEAR_CALLBACKS: List[Callable[[], None]] = []
 
+#: Named cache-statistics providers (trace cache, profile cache, result
+#: store, ...).  Each layer registers its own counter snapshot here so
+#: the CLI's ``--verbose`` reporting does not hard-code the cache
+#: inventory; this module hosts the registry because it sits below
+#: every cache-owning layer.
+_STATS_PROVIDERS: Dict[str, Callable[[], Dict[str, int]]] = {}
+
+
+def register_stats_provider(
+    name: str, provider: Callable[[], Dict[str, int]]
+) -> None:
+    """Register (or replace) a named cache-counter snapshot provider."""
+    _STATS_PROVIDERS[name] = provider
+
+
+def all_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Snapshot every registered cache's counters, keyed by cache name.
+
+    Only caches whose owning module has been imported appear -- the
+    registry is populated at import time by each layer.
+    """
+    return {name: provider() for name, provider in _STATS_PROVIDERS.items()}
+
 
 def default_shared_cache_dir() -> str:
     """Per-user shared trace-cache directory (platformdirs-style).
@@ -217,6 +240,9 @@ def trace_cache_info() -> Dict[str, int]:
         info = dict(_TRACE_CACHE_STATS)
         info["entries"] = len(_TRACE_CACHE)
         return info
+
+
+register_stats_provider("traces", trace_cache_info)
 
 
 def _disk_cache_path(key: Tuple[str, int, int]) -> Optional[str]:

@@ -10,10 +10,12 @@ from __future__ import annotations
 import os
 
 # Keep the suite hermetic: parallel-sweep helpers default the disk
-# trace cache to the real per-user directory, which tests must never
-# read or populate.  Tests that exercise the disk layer point the
-# variable at a tmp_path explicitly (monkeypatch.setenv overrides this).
+# trace cache to the real per-user directory (and the CLI does the same
+# for the result store), which tests must never read or populate.
+# Tests that exercise the disk layers point the variables at a tmp_path
+# explicitly (monkeypatch.setenv overrides this).
 os.environ.setdefault("REPRO_TRACE_CACHE_DIR", "none")
+os.environ.setdefault("REPRO_RESULT_CACHE_DIR", "none")
 
 import pytest
 

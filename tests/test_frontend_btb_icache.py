@@ -6,7 +6,6 @@ from repro.frontend import (
     BASELINE_FRONTEND,
     TAILORED_FRONTEND,
     BranchTargetBuffer,
-    FrontEndConfig,
     ICacheConfig,
     InstructionCache,
     simulate_btb,

@@ -356,10 +356,13 @@ class TestCliSweep:
         output = capsys.readouterr().out
         assert "scenario paper" in output and "Baseline CMP" in output
 
-    def test_parallel_flag_warns_when_unsupported(self, capsys):
+    def test_parallel_flag_now_supported_everywhere(self, capsys):
+        # Every registered experiment gained a run_parallel sweep, so
+        # --parallel is never silently ignored any more.
         assert cli_main(["fig6", "--instructions", "20000", "--parallel"]) == 0
         captured = capsys.readouterr()
-        assert "--parallel ignored" in captured.err and "fig6" in captured.err
+        assert "--parallel ignored" not in captured.err
+        assert "gobmk" in captured.out
 
     def test_parallel_flag_silent_when_supported(self, capsys):
         assert cli_main(["table3", "--parallel"]) == 0

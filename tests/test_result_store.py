@@ -1,0 +1,199 @@
+"""Tests for the content-addressed result store.
+
+Covers the store contract directly: key stability across processes,
+invalidation when the configuration or seed changes, corrupted-entry
+recovery (a truncated disk file falls back to recompute), and
+concurrent writers relying on the atomic write-then-rename pattern
+shared with the trace cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.results.artifacts import block, build_artifact
+from repro.results.store import (
+    RESULT_CACHE_DIR_VARIABLE,
+    clear_result_store,
+    load_result,
+    resolved_result_dir,
+    result_key,
+    result_store_info,
+    store_result,
+)
+
+CONFIG = {"instructions": 20_000, "geometries": [[256, 4], [1024, 4]]}
+WORKLOADS = ("FT", "gobmk")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store():
+    clear_result_store()
+    yield
+    clear_result_store()
+
+
+def _artifact(experiment: str = "fig7", value: str = "1.00") -> dict:
+    return build_artifact(
+        experiment,
+        "a title",
+        [block(["suite", "mpki"], [["NPB", value]])],
+        {"mpki": {"NPB": float(value)}},
+    )
+
+
+class TestResultKey:
+    def test_key_is_deterministic_and_order_insensitive(self):
+        first = result_key("fig7", CONFIG, WORKLOADS)
+        reordered = {"geometries": [[256, 4], [1024, 4]], "instructions": 20_000}
+        assert result_key("fig7", reordered, list(WORKLOADS)) == first
+
+    def test_key_changes_with_every_provenance_component(self):
+        reference = result_key("fig7", CONFIG, WORKLOADS, seed=0)
+        assert result_key("fig8", CONFIG, WORKLOADS) != reference
+        assert result_key("fig7", {**CONFIG, "instructions": 40_000}, WORKLOADS) != reference
+        assert (
+            result_key("fig7", {**CONFIG, "geometries": [[512, 4]]}, WORKLOADS)
+            != reference
+        )
+        assert result_key("fig7", CONFIG, ("FT",)) != reference
+        assert result_key("fig7", CONFIG, WORKLOADS, seed=1) != reference
+
+    def test_key_changes_when_the_package_source_changes(self, monkeypatch):
+        from repro.results import store as store_module
+
+        reference = result_key("fig7", CONFIG, WORKLOADS)
+        assert store_module.code_fingerprint()  # Memoized, non-empty.
+        monkeypatch.setattr(store_module, "_CODE_FINGERPRINT", "different-code")
+        assert result_key("fig7", CONFIG, WORKLOADS) != reference
+
+    def test_key_is_stable_across_processes(self):
+        expected = result_key("fig7", CONFIG, WORKLOADS)
+        script = (
+            "from repro.results.store import result_key;"
+            f"print(result_key('fig7', {CONFIG!r}, {WORKLOADS!r}))"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert output == expected
+
+
+class TestStoreLayers:
+    def test_memory_roundtrip_without_disk(self, monkeypatch):
+        monkeypatch.setenv(RESULT_CACHE_DIR_VARIABLE, "none")
+        assert resolved_result_dir() is None
+        key = result_key("fig7", CONFIG, WORKLOADS)
+        assert load_result(key, "fig7") is None
+        store_result(key, _artifact())
+        assert load_result(key, "fig7") == _artifact()
+        info = result_store_info()
+        assert info["hits"] == 1 and info["stores"] == 1
+        assert info["disk_stores"] == 0
+
+    def test_disk_roundtrip_survives_memory_clear(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(RESULT_CACHE_DIR_VARIABLE, str(tmp_path))
+        key = result_key("fig7", CONFIG, WORKLOADS)
+        store_result(key, _artifact())
+        clear_result_store()  # Simulate a fresh process.
+        assert load_result(key, "fig7") == _artifact()
+        assert result_store_info()["disk_hits"] == 1
+
+    def test_experiment_mismatch_is_a_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(RESULT_CACHE_DIR_VARIABLE, str(tmp_path))
+        key = result_key("fig7", CONFIG, WORKLOADS)
+        store_result(key, _artifact(experiment="fig7"))
+        clear_result_store()
+        assert load_result(key, "fig8") is None
+
+    def test_corrupted_disk_entry_falls_back_to_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(RESULT_CACHE_DIR_VARIABLE, str(tmp_path))
+        key = result_key("fig7", CONFIG, WORKLOADS)
+        store_result(key, _artifact())
+        clear_result_store()
+        (entry,) = [p for p in tmp_path.iterdir() if p.suffix == ".json"]
+        content = entry.read_bytes()
+        entry.write_bytes(content[: len(content) // 2])  # Truncate.
+        assert load_result(key, "fig7") is None
+        # A recompute-and-store heals the entry.
+        store_result(key, _artifact())
+        clear_result_store()
+        assert load_result(key, "fig7") == _artifact()
+
+    def test_garbage_disk_entry_falls_back_to_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(RESULT_CACHE_DIR_VARIABLE, str(tmp_path))
+        key = result_key("fig7", CONFIG, WORKLOADS)
+        store_result(key, _artifact())
+        clear_result_store()
+        (entry,) = [p for p in tmp_path.iterdir() if p.suffix == ".json"]
+        entry.write_text(json.dumps({"key": key, "artifact": {"schema": 999}}))
+        assert load_result(key, "fig7") is None
+
+    def test_unwritable_disk_layer_is_best_effort(self, tmp_path, monkeypatch):
+        target = tmp_path / "not-a-directory"
+        target.write_text("occupied")
+        monkeypatch.setenv(RESULT_CACHE_DIR_VARIABLE, str(target / "store"))
+        key = result_key("fig7", CONFIG, WORKLOADS)
+        store_result(key, _artifact())  # Must not raise.
+        assert load_result(key, "fig7") == _artifact()  # Memory layer still works.
+        assert result_store_info()["disk_stores"] == 0
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_never_corrupt_an_entry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(RESULT_CACHE_DIR_VARIABLE, str(tmp_path))
+        key = result_key("fig7", CONFIG, WORKLOADS)
+        barrier = threading.Barrier(8)
+
+        def writer() -> None:
+            barrier.wait()
+            for _ in range(10):
+                store_result(key, _artifact())
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        clear_result_store()
+        assert load_result(key, "fig7") == _artifact()
+        # No temporary files may survive the renames.
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_racing_writers_on_distinct_keys(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(RESULT_CACHE_DIR_VARIABLE, str(tmp_path))
+        keys = [
+            result_key("fig7", {**CONFIG, "instructions": n}, WORKLOADS)
+            for n in range(1000, 1016)
+        ]
+        barrier = threading.Barrier(len(keys))
+
+        def writer(key: str, value: str) -> None:
+            barrier.wait()
+            store_result(key, _artifact(value=value))
+
+        threads = [
+            threading.Thread(target=writer, args=(key, f"{index}.00"))
+            for index, key in enumerate(keys)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        clear_result_store()
+        for index, key in enumerate(keys):
+            assert load_result(key, "fig7") == _artifact(value=f"{index}.00")

@@ -13,7 +13,6 @@ from repro.trace import (
     Loop,
     Phase,
     Program,
-    Sequence,
     TraceGenerator,
     generate_trace,
     layout_program,
