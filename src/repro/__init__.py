@@ -23,24 +23,27 @@ The package is organised as a pipeline:
     Area/power/energy models (the McPAT + CACTI substitute).
 ``repro.experiments``
     One driver per paper table and figure.
+``repro.api``
+    The unified typed entry point: a :class:`~repro.api.Session` owns
+    the runtime configuration (every ``REPRO_*`` knob, resolved once)
+    and turns declarative plans into columnar result frames.
 
 Quickstart::
 
-    from repro.workloads import get_workload, build_workload
-    from repro.frontend import make_predictor, simulate_branch_predictor
+    from repro.api import Session
 
-    workload = build_workload(get_workload("FT"))
-    trace = workload.trace(200_000)
-    predictor = make_predictor("tage", "small", with_loop=True)
-    print(simulate_branch_predictor(trace, predictor).mpki)
+    session = Session(instructions=200_000)
+    frame = session.sweep(workloads=["FT"]).execute()
+    print(frame.to_csv())
 """
 
 __version__ = "1.0.0"
 
-from repro import analysis, experiments, frontend, power, trace, uarch, workloads
+from repro import analysis, api, experiments, frontend, power, trace, uarch, workloads
 
 __all__ = [
     "__version__",
+    "api",
     "trace",
     "workloads",
     "analysis",

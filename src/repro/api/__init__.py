@@ -1,0 +1,72 @@
+"""``repro.api``: the unified, typed entry point to the reproduction.
+
+One import surface for the whole pipeline -- workloads -> traces ->
+front-end simulations -> experiments::
+
+    from repro.api import Session
+
+    session = Session(instructions=60_000)
+    frame = session.sweep(workloads=["FT", "LU"]).execute()
+    print(frame.to_csv())
+
+The pieces:
+
+:class:`RuntimeConfig`
+    Every ``REPRO_*`` knob, resolved once (explicit > env > default).
+:class:`Session`
+    Owns a config; typed methods for every pipeline stage.
+:class:`Plan` / :class:`FrontendSweepPlan` / :class:`ExperimentPlan`
+    Declarative descriptions of work; ``execute()`` runs them.
+:class:`ResultFrame`
+    The columnar result every plan yields.
+
+Attributes load lazily (PEP 562) so the light pieces --
+``RuntimeConfig``, ``ResultFrame`` -- are importable from the bottom of
+the package without dragging in the session machinery.
+"""
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "ENVIRONMENT_VARIABLES",
+    "ExperimentPlan",
+    "FrontendSweepPlan",
+    "Plan",
+    "ResultFrame",
+    "RuntimeConfig",
+    "Session",
+    "current_session",
+    "default_session",
+]
+
+#: Where each public name lives; ``__getattr__`` resolves through this.
+_EXPORTS = {
+    "ENVIRONMENT_VARIABLES": "repro.api.runtime_config",
+    "RuntimeConfig": "repro.api.runtime_config",
+    "ResultFrame": "repro.api.frame",
+    "Plan": "repro.api.plan",
+    "FrontendSweepPlan": "repro.api.plan",
+    "ExperimentPlan": "repro.api.plan",
+    "Session": "repro.api.session",
+    "current_session": "repro.api.session",
+    "default_session": "repro.api.session",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from repro.api.frame import ResultFrame
+    from repro.api.plan import ExperimentPlan, FrontendSweepPlan, Plan
+    from repro.api.runtime_config import ENVIRONMENT_VARIABLES, RuntimeConfig
+    from repro.api.session import Session, current_session, default_session
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,250 @@
+"""Declarative plans: what to run, separated from how it runs.
+
+A :class:`Plan` captures a complete description of work -- which
+workloads, which front-end configurations, which metrics, or which
+registered paper experiments -- bound to the
+:class:`~repro.api.session.Session` that will execute it.  Building a
+plan performs no simulation; :meth:`Plan.execute` compiles it onto the
+existing engines (the batched
+:func:`repro.frontend.simulation.simulate_frontend_many`, the shared
+trace cache, the orchestrator's content-addressed store) under the
+session's :class:`~repro.api.runtime_config.RuntimeConfig` and yields a
+columnar :class:`~repro.api.frame.ResultFrame`.
+
+The module-level sweep worker is deliberately a plain picklable
+function, so plans fan out through the same ``parallel_map`` pool the
+experiment drivers use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.api.frame import ResultFrame, artifact_frames
+from repro.frontend.configs import (
+    BASELINE_FRONTEND,
+    TAILORED_FRONTEND,
+    FrontEndConfig,
+)
+from repro.frontend.simulation import FrontEndResult, simulate_frontend_many
+from repro.trace.instruction import CodeSection
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.trace_cache import workload_trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.api.session import Session
+
+#: The front-end metrics a sweep plan can report, in column order.
+SWEEP_METRICS: Tuple[str, ...] = ("branch_mpki", "btb_mpki", "icache_mpki")
+
+#: The configurations swept when a plan does not name any: the two
+#: Section V core flavours.
+DEFAULT_SWEEP_CONFIGS: Tuple[FrontEndConfig, ...] = (
+    BASELINE_FRONTEND,
+    TAILORED_FRONTEND,
+)
+
+
+def _metric_value(result: FrontEndResult, metric: str) -> float:
+    if metric == "branch_mpki":
+        return result.branch.mpki
+    if metric == "btb_mpki":
+        return result.btb.mpki
+    if metric == "icache_mpki":
+        return result.icache.mpki
+    raise KeyError(f"unknown sweep metric {metric!r}; expected one of {SWEEP_METRICS}")
+
+
+def _sweep_worker(args) -> Dict[Tuple[str, CodeSection], FrontEndResult]:
+    """Per-workload worker: every configuration over one shared trace.
+
+    Module-level (and argument-tuple shaped like the driver workers:
+    ``(spec, instructions, ...)``) so parallel execution can pickle it
+    and the sweep primer recognises and pre-generates its traces.
+    """
+    spec, instructions, seed, configs, sections = args
+    trace = workload_trace(spec, instructions, seed=seed)
+    return simulate_frontend_many(trace, configs, sections)
+
+
+class Plan:
+    """Base class of every declarative plan.
+
+    Subclasses implement :meth:`execute` (run under the owning
+    session's runtime config, yield a :class:`ResultFrame`) and
+    :meth:`describe` (the plan's full semantic description, e.g. for
+    logging or content addressing).
+    """
+
+    def execute(self) -> ResultFrame:
+        """Run the plan and return its columnar result."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        """Plain-dict description of everything the plan will do."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FrontendSweepPlan(Plan):
+    """workloads x front-end configurations x sections -> metrics.
+
+    Compiles to one batched :func:`simulate_frontend_many` call per
+    workload (each section's branch/line streams decoded once for all
+    configurations), fanned out through the session's pool when its
+    config says so.  The resulting frame has one row per (workload,
+    section, configuration) with the requested metric columns.
+    """
+
+    session: "Session"
+    workloads: Tuple[WorkloadSpec, ...]
+    configs: Tuple[FrontEndConfig, ...]
+    sections: Tuple[CodeSection, ...]
+    metrics: Tuple[str, ...]
+    instructions: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Results are keyed by config *name*, so duplicates would
+        # silently collapse onto one config's numbers.
+        names = [config.name for config in self.configs]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise ValueError(
+                f"duplicate front-end config name(s): {', '.join(duplicates)}; "
+                "every swept configuration needs a unique name"
+            )
+        for metric in self.metrics:
+            if metric not in SWEEP_METRICS:
+                raise KeyError(
+                    f"unknown sweep metric {metric!r}; "
+                    f"expected one of {SWEEP_METRICS}"
+                )
+        if len(set(self.metrics)) != len(self.metrics):
+            raise ValueError(
+                "duplicate sweep metrics; each metric becomes one frame column"
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": "frontend-sweep",
+            "workloads": [spec.name for spec in self.workloads],
+            "configs": [config.name for config in self.configs],
+            "sections": [section.name for section in self.sections],
+            "metrics": list(self.metrics),
+            "instructions": self.instructions,
+            "seed": self.seed,
+            "runtime": self.session.config.describe(),
+        }
+
+    def execute(self) -> ResultFrame:
+        arguments = [
+            (spec, self.instructions, self.seed, self.configs, self.sections)
+            for spec in self.workloads
+        ]
+        prime = [(spec, self.instructions, self.seed) for spec in self.workloads]
+        results = self.session.map(_sweep_worker, arguments, prime=prime)
+        rows: List[List[Any]] = []
+        for spec, by_key in zip(self.workloads, results):
+            for section in self.sections:
+                for config in self.configs:
+                    result = by_key[(config.name, section)]
+                    rows.append(
+                        [spec.name, spec.suite.label, section.name, config.name]
+                        + [_metric_value(result, metric) for metric in self.metrics]
+                    )
+        return ResultFrame.from_rows(
+            ("workload", "suite", "section", "config") + self.metrics, rows
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentPlan(Plan):
+    """A selection of registered paper experiments, store-backed.
+
+    Executes through the orchestrator under the session's runtime
+    config: results are looked up in the content-addressed store first,
+    derived from dependencies when possible, computed otherwise, and
+    stored the moment they complete.
+    """
+
+    session: "Session"
+    names: Tuple[str, ...]
+    scenario_names: Optional[Tuple[str, ...]] = None
+    instructions: Optional[int] = None
+    use_store: bool = True
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": "experiments",
+            "experiments": list(self.names),
+            "scenarios": list(self.scenario_names or ()) or None,
+            "instructions": self._instructions(),
+            "use_store": self.use_store,
+            "runtime": self.session.config.describe(),
+        }
+
+    def _instructions(self) -> int:
+        if self.instructions is not None:
+            return self.instructions
+        return self.session.config.instructions
+
+    def report(self):
+        """Run the plan and return the orchestrator's full RunReport."""
+        from repro.results.orchestrator import run_experiments
+
+        config = self.session.config
+        with self.session.activate():
+            return run_experiments(
+                list(self.names),
+                instructions=self._instructions(),
+                run_parallel=config.parallel,
+                processes=config.processes,
+                scenario_names=(
+                    list(self.scenario_names) if self.scenario_names else None
+                ),
+                use_store=self.use_store,
+            )
+
+    def frames(self) -> Dict[str, ResultFrame]:
+        """Execute and return one frame per selected experiment."""
+        report = self.report()
+        return {
+            outcome.name: ResultFrame.from_artifact(outcome.artifact)
+            for outcome in report.outcomes
+        }
+
+    def execute(self) -> ResultFrame:
+        """Execute and return the frame of the selection.
+
+        A single-experiment plan returns that experiment's frame.  A
+        multi-experiment plan returns one frame only when every
+        experiment's tables agree on their headers; use
+        :meth:`frames` for heterogeneous selections.
+        """
+        frames = self.frames()
+        if not frames:
+            raise ValueError("the plan selected no experiments; nothing to execute")
+        if len(frames) == 1:
+            return next(iter(frames.values()))
+        try:
+            return ResultFrame.concat(list(frames.values()))
+        except ValueError as error:
+            raise ValueError(
+                "experiments disagree on table headers; use frames() instead"
+            ) from error
+
+
+def experiment_frames(artifact: Mapping[str, Any]) -> Sequence[ResultFrame]:
+    """Frames of one stored artifact (re-exported convenience)."""
+    return artifact_frames(artifact)

@@ -1,0 +1,528 @@
+"""The Session: one typed entry point for the whole pipeline.
+
+A :class:`Session` owns all runtime state -- a frozen
+:class:`~repro.api.runtime_config.RuntimeConfig` resolved once at
+construction (explicit argument > ``REPRO_*`` environment variable >
+default) -- and exposes the pipeline behind typed methods::
+
+    from repro.api import Session
+
+    session = Session(instructions=60_000)
+    trace = session.trace("FT")                       # workloads -> traces
+    plan = session.sweep(workloads=["FT", "LU"])      # declarative plan
+    frame = plan.execute()                            # -> ResultFrame
+    print(frame.to_csv())
+
+Execution primitives
+--------------------
+:meth:`Session.map` is the sweep engine every experiment driver routes
+through: serial by default, fanned out over the ``parallel_map``
+process pool when the session's config (or the caller) says so, with
+the shared disk trace cache primed first exactly like the historical
+``run_sweep``.  While a session executes, its config is *activated*
+(see :func:`repro.api.runtime_config.activated`) so every layer below
+-- trace engine selection, cache directories, the result store -- sees
+one consistent snapshot instead of re-reading the environment.
+
+The **default session** (:func:`default_session`) is special: it
+follows the process environment on every access instead of freezing a
+snapshot, which is exactly the historical behaviour of the module-level
+entry points (``workload_trace``, ``run_sweep``, ``simulate_frontend``)
+that now delegate to it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.api import runtime_config as rc
+from repro.api.frame import ResultFrame
+from repro.api.plan import (
+    DEFAULT_SWEEP_CONFIGS,
+    SWEEP_METRICS,
+    ExperimentPlan,
+    FrontendSweepPlan,
+    Plan,
+)
+from repro.frontend.configs import FrontEndConfig
+from repro.frontend.simulation import (
+    FrontEndResult,
+    simulate_frontend,
+    simulate_frontend_many,
+)
+from repro.trace.events import Trace
+from repro.trace.instruction import CodeSection
+from repro.workloads.catalog import get_workload
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suites import Suite
+from repro.workloads.trace_cache import (
+    enable_shared_cache,
+    trace_on_disk,
+    workload_trace,
+)
+
+#: What a workload argument may be: a catalog name or a spec.
+WorkloadLike = Union[str, WorkloadSpec]
+
+
+def parallel_map(
+    function: Callable,
+    items: Sequence,
+    processes: Optional[int] = None,
+) -> List:
+    """Map ``function`` over ``items`` across worker processes, in order.
+
+    ``function`` must be picklable (a module-level function).  With one
+    item, one worker, or no multiprocessing support, falls back to a
+    plain in-process map.  This is the pool behind every parallel
+    sweep; :func:`repro.experiments.common.parallel_map` re-exports it.
+    """
+    items = list(items)
+    if processes is None:
+        processes = min(len(items), os.cpu_count() or 1)
+    if processes <= 1 or len(items) <= 1:
+        return [function(item) for item in items]
+    with multiprocessing.Pool(processes) as pool:
+        return pool.map(function, items)
+
+
+def _prime_worker(args) -> None:
+    """Generate one trace into the shared disk cache (worker side)."""
+    spec, instructions, seed = args
+    workload_trace(spec, instructions, seed=seed)
+
+
+def _default_prime_keys(arguments: Sequence) -> "List[tuple]":
+    """Prime keys inferred from conventional driver argument tuples.
+
+    The historical heuristic: tuples shaped ``(spec, instructions,
+    ...)`` are primed at seed 0 (every driver worker uses the default
+    seed); anything else is left to the worker.  Callers whose workers
+    use other seeds (the sweep plans) pass explicit keys to
+    :meth:`Session.map` instead of relying on this.
+    """
+    keys = []
+    seen = set()
+    for args in arguments:
+        if (
+            isinstance(args, tuple)
+            and len(args) >= 2
+            and isinstance(args[0], WorkloadSpec)
+            and isinstance(args[1], int)
+            and (args[0].name, args[1]) not in seen
+        ):
+            seen.add((args[0].name, args[1]))
+            keys.append((args[0], args[1], 0))
+    return keys
+
+
+def _prime_shared_traces(keys: Sequence, processes: Optional[int]) -> None:
+    """Populate the shared trace cache for a sweep before forking.
+
+    ``keys`` are ``(spec, instructions, seed)`` triples.  Traces the
+    disk layer is missing are generated *in parallel* (each priming
+    worker stores its ``.npz`` atomically), then the parent loads
+    everything into its in-memory cache, so sweep workers find every
+    trace present -- inherited on fork platforms, disk-loaded otherwise
+    -- instead of each regenerating its own.
+    """
+    missing = [key for key in keys if not trace_on_disk(*key)]
+    if len(missing) > 1:
+        parallel_map(_prime_worker, missing, processes)
+    for spec, instructions, seed in keys:
+        workload_trace(spec, instructions, seed=seed)
+
+
+class Session:
+    """Owns runtime state; every pipeline stage hangs off it.
+
+    ``config`` may be a ready-made :class:`~repro.api.runtime_config.
+    RuntimeConfig`; keyword overrides take precedence over environment
+    variables, which take precedence over defaults (resolved once,
+    here).  A provided config object is taken verbatim -- in
+    particular, its ``trace_cache_dir=None`` counts as an explicit
+    disable, so such a session never auto-defaults the shared trace
+    cache under parallel overrides (keyword construction does).  With
+    ``follow_environment=True`` the session re-reads the environment on
+    every access instead -- that mode exists for the process-wide
+    default session backing the legacy entry points and is not normally
+    constructed by hand.
+    """
+
+    def __init__(
+        self,
+        config: Optional[rc.RuntimeConfig] = None,
+        *,
+        follow_environment: bool = False,
+        **overrides: Any,
+    ) -> None:
+        if follow_environment and (config is not None or overrides):
+            raise ValueError(
+                "an environment-following session takes no explicit config"
+            )
+        self._follow_environment = follow_environment
+        # Whether a later parallel override may auto-default the shared
+        # trace-cache directory (the legacy run_sweep behaviour): only
+        # when neither the caller nor the environment said anything
+        # about the trace cache, so an explicit disable always wins.
+        self._trace_cache_defaultable = (
+            not follow_environment
+            and config is None
+            and "trace_cache_dir" not in overrides
+            and rc.read_environment(rc.TRACE_CACHE_DIR_VARIABLE) is None
+        )
+        if follow_environment:
+            self._config: Optional[rc.RuntimeConfig] = None
+        elif config is None:
+            self._config = rc.RuntimeConfig.from_environment(**overrides)
+        elif overrides:
+            self._config = config.replace(**overrides)
+        else:
+            self._config = config
+
+    # -- configuration -----------------------------------------------
+
+    @property
+    def follows_environment(self) -> bool:
+        """Whether this session re-reads ``REPRO_*`` on every access."""
+        return self._follow_environment
+
+    @property
+    def config(self) -> rc.RuntimeConfig:
+        """The session's runtime config (frozen unless env-following)."""
+        if self._config is not None:
+            return self._config
+        return rc.RuntimeConfig.from_environment()
+
+    @contextlib.contextmanager
+    def activate(self) -> Iterator["Session"]:
+        """Make this session's config the active one for a scope.
+
+        Also makes the session :func:`current_session` for the scope,
+        so code below (the experiment drivers) routes its sweeps
+        through it.  The environment-following default session
+        activates only itself, not a config snapshot -- the layers
+        below keep reading the live environment, which is the legacy
+        contract.
+        """
+        token = _CURRENT.set(self)
+        try:
+            if self._follow_environment:
+                yield self
+            else:
+                with rc.activated(self.config):
+                    yield self
+        finally:
+            _CURRENT.reset(token)
+
+    @contextlib.contextmanager
+    def _activated_as(self, config: rc.RuntimeConfig) -> Iterator["Session"]:
+        """Like :meth:`activate`, but pinning a derived config.
+
+        Used by :meth:`map` when a parallel override re-applies the
+        shared-cache default: the session stays ``current_session`` for
+        the scope while the lower layers see the effective config.
+        """
+        if self._follow_environment:
+            with self.activate():
+                yield self
+            return
+        token = _CURRENT.set(self)
+        try:
+            with rc.activated(config):
+                yield self
+        finally:
+            _CURRENT.reset(token)
+
+    # -- workload selection ------------------------------------------
+
+    def workload(self, workload: WorkloadLike) -> WorkloadSpec:
+        """Resolve a catalog name (or pass a spec through)."""
+        if isinstance(workload, WorkloadSpec):
+            return workload
+        return get_workload(workload)
+
+    def workloads(
+        self,
+        suites: Optional[Sequence[Suite]] = None,
+        names: Optional[Sequence[str]] = None,
+    ) -> List[WorkloadSpec]:
+        """Select workloads: all 41 by default, or by suite/name.
+
+        Delegates to :func:`repro.workloads.catalog.select_workloads`,
+        the same helper behind the legacy ``suite_workloads``.
+        """
+        from repro.workloads.catalog import select_workloads
+
+        return select_workloads(
+            suites=list(suites) if suites is not None else None,
+            names=list(names) if names is not None else None,
+        )
+
+    # -- pipeline stages ---------------------------------------------
+
+    def trace(
+        self,
+        workload: WorkloadLike,
+        instructions: Optional[int] = None,
+        seed: int = 0,
+    ) -> Trace:
+        """Build (or reuse) a workload's dynamic trace.
+
+        Routed through the shared trace cache under this session's
+        config, so the engine choice and disk layer follow the session
+        rather than the ambient environment.
+        """
+        spec = self.workload(workload)
+        if instructions is None:
+            instructions = self.config.instructions
+        with self.activate():
+            return workload_trace(spec, instructions, seed=seed)
+
+    def frontend(
+        self,
+        workload: WorkloadLike,
+        config: FrontEndConfig,
+        section: CodeSection = CodeSection.TOTAL,
+        instructions: Optional[int] = None,
+        seed: int = 0,
+    ) -> FrontEndResult:
+        """Simulate one front-end configuration over one workload."""
+        trace = self.trace(workload, instructions, seed=seed)
+        with self.activate():
+            return simulate_frontend(trace, config, section)
+
+    def frontend_many(
+        self,
+        workload: WorkloadLike,
+        configs: Sequence[FrontEndConfig],
+        sections: Sequence[CodeSection] = (CodeSection.TOTAL,),
+        instructions: Optional[int] = None,
+        seed: int = 0,
+    ) -> Dict[Any, FrontEndResult]:
+        """Simulate many configurations over one workload, batched."""
+        trace = self.trace(workload, instructions, seed=seed)
+        with self.activate():
+            return simulate_frontend_many(trace, tuple(configs), tuple(sections))
+
+    # -- declarative plans -------------------------------------------
+
+    def sweep(
+        self,
+        workloads: Optional[Sequence[WorkloadLike]] = None,
+        configs: Optional[Sequence[FrontEndConfig]] = None,
+        metrics: Optional[Sequence[str]] = None,
+        sections: Sequence[CodeSection] = (CodeSection.TOTAL,),
+        instructions: Optional[int] = None,
+        seed: int = 0,
+    ) -> FrontendSweepPlan:
+        """Declare a workloads x configs x sections front-end sweep.
+
+        Returns a :class:`FrontendSweepPlan`; nothing runs until
+        ``execute()``.  Defaults: the full 41-workload catalog, the
+        baseline and tailored Section V front-ends, all three MPKI
+        metrics, the TOTAL section, and the session's instruction
+        budget.
+        """
+        specs = (
+            self.workloads()
+            if workloads is None
+            else [self.workload(w) for w in workloads]
+        )
+        return FrontendSweepPlan(
+            session=self,
+            workloads=tuple(specs),
+            configs=tuple(configs) if configs is not None else DEFAULT_SWEEP_CONFIGS,
+            sections=tuple(sections),
+            metrics=tuple(metrics) if metrics is not None else SWEEP_METRICS,
+            instructions=(
+                self.config.instructions if instructions is None else int(instructions)
+            ),
+            seed=int(seed),
+        )
+
+    def experiment(self, name: str, **options: Any) -> ExperimentPlan:
+        """Declare one registered paper experiment (see ``experiments``)."""
+        return self.experiments([name], **options)
+
+    def experiments(
+        self,
+        names: Optional[Sequence[str]] = None,
+        scenario_names: Optional[Sequence[str]] = None,
+        instructions: Optional[int] = None,
+        use_store: bool = True,
+    ) -> ExperimentPlan:
+        """Declare a selection of registered experiments (default: all).
+
+        Returns an :class:`ExperimentPlan` that executes through the
+        orchestrator under this session's config: store-first,
+        dependency-deriving, resumable.
+        """
+        if names is None:
+            from repro.results.orchestrator import registry_names
+
+            names = registry_names()
+        return ExperimentPlan(
+            session=self,
+            names=tuple(names),
+            scenario_names=tuple(scenario_names) if scenario_names else None,
+            instructions=instructions,
+            use_store=use_store,
+        )
+
+    def run(self, plan: Plan) -> ResultFrame:
+        """Execute a plan (equivalent to ``plan.execute()``)."""
+        return plan.execute()
+
+    # -- the sweep engine --------------------------------------------
+
+    def map(
+        self,
+        worker: Callable,
+        arguments: Sequence,
+        parallel: Optional[bool] = None,
+        processes: Optional[int] = None,
+        prime: Optional[Sequence] = None,
+    ) -> List:
+        """Run a per-workload sweep worker over its argument tuples.
+
+        The execution policy comes from the session's config unless the
+        caller overrides it: serial by default (sharing the in-process
+        trace cache), fanned out over :func:`parallel_map` when
+        parallel.  Before forking, the shared disk trace cache is
+        primed -- under the session's ``trace_cache_dir`` for explicit
+        sessions, or (for the environment-following default session)
+        under the legacy auto-enabled per-user directory, exported to
+        the environment so worker processes inherit it.
+
+        ``prime`` names the traces to pre-generate as ``(spec,
+        instructions, seed)`` triples; when omitted they are inferred
+        from conventionally shaped ``(spec, instructions, ...)``
+        argument tuples at seed 0 (the driver-worker convention).
+        """
+        config = self.config
+        use_parallel = config.parallel if parallel is None else bool(parallel)
+        worker_count = config.processes if processes is None else processes
+        if (
+            use_parallel
+            and not self._follow_environment
+            and config.trace_cache_dir is None
+            and self._trace_cache_defaultable
+        ):
+            # A parallel override on a session constructed without any
+            # trace-cache setting: apply the same per-user shared-cache
+            # default a parallel construction would have resolved, so
+            # the legacy run_sweep(run_parallel=True) behaviour holds.
+            config = config.replace(trace_cache_dir=rc.default_trace_cache_dir())
+        with self._activated_as(config):
+            if not use_parallel:
+                return [worker(args) for args in arguments]
+            if prime is None:
+                prime = _default_prime_keys(arguments)
+            if self._follow_environment:
+                # Legacy contract: default the shared directory into the
+                # environment (a durable export) and leave engine
+                # resolution to the live environment.  Runs under the
+                # environment lock so a concurrent explicit session's
+                # temporary export cannot be observed mid-swap.
+                with rc.locked_environment():
+                    shared_dir = enable_shared_cache()
+                    if shared_dir is not None:
+                        _prime_shared_traces(prime, worker_count)
+                    return parallel_map(worker, arguments, worker_count)
+            # Explicit session: export its trace knobs around the pool
+            # only, so spawn-platform workers resolve the session's
+            # engine and cache directory (fork platforms also inherit
+            # the activation), and nothing leaks afterwards.
+            with rc.worker_environment(config):
+                if config.trace_cache_dir is not None:
+                    _prime_shared_traces(prime, worker_count)
+                return parallel_map(worker, arguments, worker_count)
+
+    def workload_sweep(
+        self,
+        worker: Callable,
+        extra_args: Sequence = (),
+        names: Optional[Sequence[str]] = None,
+        specs: Optional[Sequence[WorkloadSpec]] = None,
+        parallel: Optional[bool] = None,
+        processes: Optional[int] = None,
+    ) -> "tuple[List[WorkloadSpec], List]":
+        """Sweep a per-workload worker over one workload selection.
+
+        Builds the conventional ``(spec, *extra_args)`` argument tuples
+        and runs them through :meth:`map`.  Returns ``(specs, rows)``
+        with rows in spec order -- the flat-sweep glue every
+        per-benchmark driver used to hand-roll.
+        """
+        if specs is None:
+            specs = self.workloads(names=names)
+        specs = list(specs)
+        arguments = [(spec, *extra_args) for spec in specs]
+        return specs, self.map(worker, arguments, parallel, processes)
+
+    def suite_sweep(
+        self,
+        worker: Callable,
+        extra_args: Sequence = (),
+        suites: Optional[Sequence[Suite]] = None,
+        parallel: Optional[bool] = None,
+        processes: Optional[int] = None,
+    ) -> "List[tuple]":
+        """Sweep a per-workload worker suite by suite.
+
+        Returns ``[(suite, specs, rows), ...]`` in figure order -- the
+        per-suite loop glue shared by the Section III/IV drivers, so
+        each experiment keeps only its own aggregation.
+        """
+        from repro.workloads.suites import SUITE_ORDER
+
+        results = []
+        for suite in suites or SUITE_ORDER:
+            specs = self.workloads(suites=[suite])
+            arguments = [(spec, *extra_args) for spec in specs]
+            rows = self.map(worker, arguments, parallel, processes)
+            results.append((suite, specs, rows))
+        return results
+
+
+#: The session legacy entry points delegate to (environment-following).
+_DEFAULT: Optional[Session] = None
+
+#: The innermost session activated via :meth:`Session.activate` -- a
+#: :class:`~contextvars.ContextVar` so threads cannot cross-contaminate.
+_CURRENT: "contextvars.ContextVar[Optional[Session]]" = contextvars.ContextVar(
+    "repro_current_session", default=None
+)
+
+
+def default_session() -> Session:
+    """The process-wide environment-following session.
+
+    Backs every deprecation shim (``run_sweep``, ``workload_trace``
+    used as a plain function, the CLI fallbacks): it resolves its
+    config from the live environment on each access, which is exactly
+    the pre-Session behaviour.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Session(follow_environment=True)
+    return _DEFAULT
+
+
+def current_session() -> Session:
+    """The session executing right now, else the default session.
+
+    The experiment drivers call this so that work initiated through an
+    explicit session (``session.experiment("fig5").execute()``) runs
+    under that session's config, while direct driver calls keep the
+    legacy environment-following behaviour.
+    """
+    current = _CURRENT.get()
+    if current is not None:
+        return current
+    return default_session()

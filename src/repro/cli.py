@@ -9,7 +9,10 @@ Usage::
     repro-frontend cmpsweep --scenarios core-scaling,l2-scaling
     repro-frontend all --smoke --parallel --out results/
 
-Every run goes through the experiment orchestrator
+Every invocation constructs exactly one :class:`repro.api.Session`
+(its :class:`~repro.api.RuntimeConfig` resolved once from the flags
+and the ``REPRO_*`` environment) and routes every experiment through
+a session plan and the orchestrator
 (:mod:`repro.results.orchestrator`): results are looked up in the
 content-addressed result store before anything is computed, freshly
 computed results are stored for the next invocation, and ``--out``
@@ -62,7 +65,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--parallel",
         action="store_true",
-        help="fan the per-workload sweeps across worker processes",
+        default=None,
+        help="fan the per-workload sweeps across worker processes "
+        "(default: the REPRO_PARALLEL environment variable)",
     )
     parser.add_argument(
         "--processes",
@@ -100,27 +105,36 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _resolve_instructions(args: argparse.Namespace) -> int:
-    """Instruction budget from --instructions/--smoke/--full."""
+def _resolve_instructions(args: argparse.Namespace) -> Optional[int]:
+    """Instruction budget from --instructions/--smoke/--full.
+
+    ``None`` means no budget flag was passed: the session then resolves
+    its budget from ``REPRO_INSTRUCTIONS`` or the default, per the
+    flags > environment > defaults precedence.  ``--full`` *is* an
+    explicit request for the default experiment length.
+    """
     from repro.results.orchestrator import SMOKE_INSTRUCTIONS
 
     if args.instructions is not None:
         return args.instructions
     if args.smoke:
         return SMOKE_INSTRUCTIONS
-    return DEFAULT_EXPERIMENT_INSTRUCTIONS
+    if args.full:
+        return DEFAULT_EXPERIMENT_INSTRUCTIONS
+    return None
 
 
 def main(argv: Optional[list] = None) -> int:
     """Entry point of the ``repro-frontend`` command."""
+    from repro.api.session import Session
     from repro.results.orchestrator import (
         RunReport,
         registry_names,
-        run_experiments,
         unconsumed_flags,
         write_manifest,
     )
     from repro.results.store import enable_shared_result_store
+    from repro.workloads.trace_cache import enable_shared_cache
 
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -179,10 +193,31 @@ def main(argv: Optional[list] = None) -> int:
         )
         return 2
 
-    instructions = _resolve_instructions(args)
+    # Only flags the user actually passed become explicit overrides, so
+    # the flags > environment > defaults precedence holds: an omitted
+    # --parallel still honours REPRO_PARALLEL, an omitted budget flag
+    # still honours REPRO_INSTRUCTIONS.
+    overrides: Dict[str, object] = {}
+    if args.parallel is not None:
+        overrides["parallel"] = args.parallel
+    if args.processes is not None:
+        overrides["processes"] = args.processes
+    explicit_instructions = _resolve_instructions(args)
+    if explicit_instructions is not None:
+        overrides["instructions"] = explicit_instructions
+    # Default the shared result store into the environment first (so
+    # worker and later processes inherit it, the historical contract),
+    # then freeze the run's one Session, resolved exactly once.  A
+    # parallel run also exports the shared trace directory; the session
+    # already resolved the same directory for itself (parallel
+    # auto-defaults it), so the export is purely for later processes.
     enable_shared_result_store()
+    session = Session(**overrides)
+    if session.config.parallel:
+        enable_shared_cache()
+    instructions = session.config.instructions
 
-    # Experiments run one orchestrator call at a time so output streams
+    # Experiments run one plan at a time so output streams
     # incrementally; the registry order already places dependencies
     # (fig10) before their dependents (fig11), and every completed
     # experiment lands in the result store immediately, so an
@@ -190,13 +225,8 @@ def main(argv: Optional[list] = None) -> int:
     combined = RunReport(instructions=instructions)
     for name in names:
         before = _cache_counters() if args.verbose else None
-        report = run_experiments(
-            [name],
-            instructions=instructions,
-            run_parallel=args.parallel,
-            processes=args.processes,
-            scenario_names=scenario_names,
-        )
+        plan = session.experiment(name, scenario_names=scenario_names)
+        report = plan.report()
         outcome = report.outcome(name)
         combined.outcomes.append(outcome)
         print(f"== {name} ==")

@@ -13,13 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.session import current_session
 from repro.experiments.common import (
-    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    experiment_instructions,
     mean,
     normalize_to_reference,
     render_blocks,
-    run_sweep,
-    suite_workloads,
 )
 from repro.power.cmp_power import evaluate_cmp_energy
 from repro.results.artifacts import TableBlock, block
@@ -71,12 +70,12 @@ def _sweep_workload(args) -> Dict[str, Dict[str, float]]:
 
 
 def run_cmpsweep(
-    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    instructions: Optional[int] = None,
     scenarios: Optional[Sequence[SweepScenario]] = None,
     scenario_names: Optional[Sequence[str]] = None,
     workloads: Optional[Sequence[str]] = None,
     suites: Optional[Sequence[Suite]] = None,
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> CmpSweepResult:
     """Evaluate CMP sweep scenarios over a workload selection.
@@ -85,10 +84,12 @@ def run_cmpsweep(
     ``scenario_names`` selects built-ins by name (both default to every
     built-in scenario).  Workload profiles are shared across scenarios
     through the process-wide trace/profile caches, so adding a scenario
-    only adds the (cheap) scheduling and power arithmetic.  With
-    ``run_parallel`` the per-workload evaluation fans out across worker
-    processes.
+    only adds the (cheap) scheduling and power arithmetic.  The
+    per-workload evaluation runs through the current session's sweep
+    engine; ``run_parallel`` overrides the session's parallelism.
     """
+    instructions = experiment_instructions(instructions)
+    session = current_session()
     if scenarios is None:
         if scenario_names is None:
             scenarios = list(standard_scenarios().values())
@@ -98,7 +99,7 @@ def run_cmpsweep(
         scenarios = list(scenarios)
     if workloads is None and suites is None:
         workloads = DEFAULT_SWEEP_WORKLOADS
-    specs = suite_workloads(suites=suites, names=workloads)
+    specs = session.workloads(suites=suites, names=workloads)
 
     result = CmpSweepResult(
         instructions=instructions,
@@ -106,8 +107,13 @@ def run_cmpsweep(
         workloads=[spec.name for spec in specs],
     )
     for scenario in scenarios:
-        arguments = [(spec, instructions, scenario.cmps) for spec in specs]
-        rows = run_sweep(_sweep_workload, arguments, run_parallel, processes)
+        _, rows = session.workload_sweep(
+            _sweep_workload,
+            (instructions, scenario.cmps),
+            specs=specs,
+            parallel=run_parallel,
+            processes=processes,
+        )
         per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
         for spec, normalized in zip(specs, rows):
             per_workload[spec.name] = normalized

@@ -9,13 +9,16 @@ selection helpers, and small formatting utilities.
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.results.artifacts import TableBlock
 from repro.trace.instruction import CodeSection
-from repro.workloads.catalog import WORKLOADS, get_workload, workloads_in_suite
+from repro.workloads.catalog import (
+    WORKLOADS,
+    get_workload,
+    select_workloads,
+    workloads_in_suite,
+)
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.suites import SUITE_ORDER, Suite
 from repro.workloads.trace_cache import (
@@ -38,6 +41,7 @@ __all__ = [
     "DEFAULT_EXPERIMENT_INSTRUCTIONS",
     "SECTION_ORDER",
     "default_workload_names",
+    "experiment_instructions",
     "format_table",
     "mean",
     "normalize_to_reference",
@@ -75,6 +79,23 @@ __all__ = [
 #: "experiment length" trace is).
 DEFAULT_EXPERIMENT_INSTRUCTIONS = DEFAULT_PROFILE_INSTRUCTIONS
 
+
+def experiment_instructions(instructions: Optional[int]) -> int:
+    """Resolve a driver's instruction budget.
+
+    ``None`` means "the current session decides" -- matching how the
+    drivers' ``run_parallel=None`` defers to the session -- so
+    ``run_fig01()`` under ``Session(instructions=N).activate()`` uses
+    ``N`` exactly like ``session.experiment("fig1")`` does.  With no
+    session active this resolves from ``REPRO_INSTRUCTIONS`` or the
+    default (:data:`DEFAULT_EXPERIMENT_INSTRUCTIONS`).
+    """
+    if instructions is not None:
+        return int(instructions)
+    from repro.api.session import current_session
+
+    return current_session().config.instructions
+
 #: The sections reported by the per-suite figures, in bar order.
 SECTION_ORDER = (CodeSection.TOTAL, CodeSection.SERIAL, CodeSection.PARALLEL)
 
@@ -84,56 +105,15 @@ def parallel_map(
     items: Sequence,
     processes: Optional[int] = None,
 ) -> List:
-    """Map ``function`` over ``items`` across worker processes, in order.
+    """Map ``function`` over worker processes (deprecation shim).
 
-    ``function`` must be picklable (a module-level function).  With one
-    item, one worker, or no multiprocessing support, falls back to a
-    plain in-process map.  This is what the drivers' ``run_parallel``
-    option fans the per-workload sweep out with.
+    The pool now lives in :mod:`repro.api.session`
+    (:func:`repro.api.session.parallel_map`); this wrapper is kept for
+    the historical import path.
     """
-    items = list(items)
-    if processes is None:
-        processes = min(len(items), os.cpu_count() or 1)
-    if processes <= 1 or len(items) <= 1:
-        return [function(item) for item in items]
-    with multiprocessing.Pool(processes) as pool:
-        return pool.map(function, items)
+    from repro.api.session import parallel_map as session_parallel_map
 
-
-def _prime_worker(args) -> None:
-    """Generate one trace into the shared disk cache (worker side)."""
-    spec, instructions = args
-    workload_trace(spec, instructions)
-
-
-def _prime_shared_traces(arguments: Sequence, processes: Optional[int]) -> None:
-    """Populate the shared trace cache for a sweep before forking.
-
-    Traces the disk layer is missing are generated *in parallel* (each
-    priming worker stores its ``.npz`` atomically), then the parent
-    loads everything into its in-memory cache, so sweep workers find
-    every trace present -- inherited on fork platforms, disk-loaded
-    otherwise -- instead of each regenerating its own.  Only argument
-    tuples of the conventional ``(spec, instructions, ...)`` driver
-    shape are primed; anything else is left to the worker.
-    """
-    pairs = []
-    seen = set()
-    for args in arguments:
-        if (
-            isinstance(args, tuple)
-            and len(args) >= 2
-            and isinstance(args[0], WorkloadSpec)
-            and isinstance(args[1], int)
-            and (args[0].name, args[1]) not in seen
-        ):
-            seen.add((args[0].name, args[1]))
-            pairs.append((args[0], args[1]))
-    missing = [pair for pair in pairs if not trace_on_disk(*pair)]
-    if len(missing) > 1:
-        parallel_map(_prime_worker, missing, processes)
-    for pair in pairs:
-        workload_trace(*pair)
+    return session_parallel_map(function, items, processes)
 
 
 def run_sweep(
@@ -142,21 +122,23 @@ def run_sweep(
     run_parallel: bool = False,
     processes: Optional[int] = None,
 ) -> List:
-    """Run a per-workload sweep worker over its argument tuples.
+    """Run a per-workload sweep worker (deprecation shim).
 
-    Serial by default (sharing the in-process trace cache).  With
-    ``run_parallel`` the disk trace cache is enabled first -- defaulting
-    :data:`TRACE_CACHE_DIR_VARIABLE` to the per-user shared directory
-    when unset (see :func:`default_shared_cache_dir`; set the variable
-    to ``none`` to opt out) -- the sweep's traces are primed into it,
-    and the work then fans out across worker processes via
-    :func:`parallel_map`.
+    Delegates to the default :class:`repro.api.session.Session`'s
+    ``map`` engine, which preserves the historical behaviour bit for
+    bit: serial by default (sharing the in-process trace cache); with
+    ``run_parallel`` the disk trace cache is enabled first --
+    defaulting :data:`TRACE_CACHE_DIR_VARIABLE` to the per-user shared
+    directory when unset (set the variable to ``none`` to opt out) --
+    the sweep's traces are primed into it, and the work then fans out
+    across worker processes via :func:`parallel_map`.  New code should
+    call ``Session.map`` (or build a plan) instead.
     """
-    if run_parallel:
-        if enable_shared_cache() is not None:
-            _prime_shared_traces(arguments, processes)
-        return parallel_map(worker, arguments, processes)
-    return [worker(args) for args in arguments]
+    from repro.api.session import default_session
+
+    return default_session().map(
+        worker, arguments, parallel=run_parallel, processes=processes
+    )
 
 
 def suite_workloads(
@@ -167,16 +149,14 @@ def suite_workloads(
 
     With no arguments all 41 catalogued workloads are returned, in
     suite order.  ``names`` restricts to specific benchmarks, ``suites``
-    to whole suites.
+    to whole suites.  Thin wrapper over
+    :func:`repro.workloads.catalog.select_workloads`, the one selection
+    helper shared with :meth:`repro.api.Session.workloads`.
     """
-    if names is not None:
-        return [get_workload(name) for name in names]
-    if suites is None:
-        suites = SUITE_ORDER
-    selected: List[WorkloadSpec] = []
-    for suite in suites:
-        selected.extend(workloads_in_suite(suite))
-    return selected
+    return select_workloads(
+        suites=list(suites) if suites is not None else None,
+        names=list(names) if names is not None else None,
+    )
 
 
 def sections_for(spec: WorkloadSpec) -> List[CodeSection]:

@@ -6,20 +6,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.branch_mix import BranchMix, analyze_branch_mix
+from repro.api.session import current_session
 from repro.experiments.common import (
-    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    experiment_instructions,
     default_workload_names,
     mean,
     render_blocks,
-    run_sweep,
     sections_for,
-    suite_workloads,
     workload_trace,
 )
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import FIGURE1_CATEGORIES, CodeSection
-from repro.workloads.suites import SUITE_ORDER, Suite
+from repro.workloads.suites import Suite
 
 
 @dataclass
@@ -45,21 +44,23 @@ def _workload_mix(args) -> Dict[CodeSection, BranchMix]:
 
 
 def run_fig01(
-    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    instructions: Optional[int] = None,
     suites: Optional[Sequence[Suite]] = None,
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Fig01Result:
     """Regenerate the Figure 1 data.
 
-    With ``run_parallel`` the per-workload analysis (trace generation
-    plus the per-section branch mixes) fans out across worker processes.
+    The per-workload analysis (trace generation plus the per-section
+    branch mixes) runs through the current session's sweep engine;
+    ``run_parallel`` overrides the session's parallelism setting.
     """
+    instructions = experiment_instructions(instructions)
     result = Fig01Result(instructions=instructions)
-    for suite in suites or SUITE_ORDER:
-        specs = suite_workloads(suites=[suite])
-        arguments = [(spec, instructions) for spec in specs]
-        rows = run_sweep(_workload_mix, arguments, run_parallel, processes)
+    sweep = current_session().suite_sweep(
+        _workload_mix, (instructions,), suites, run_parallel, processes
+    )
+    for suite, specs, rows in sweep:
         per_section_mixes: Dict[CodeSection, List] = {}
         for spec, mixes in zip(specs, rows):
             for section, mix in mixes.items():

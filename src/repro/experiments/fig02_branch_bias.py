@@ -10,20 +10,19 @@ from repro.analysis.branch_bias import (
     BiasDistribution,
     analyze_branch_bias,
 )
+from repro.api.session import current_session
 from repro.experiments.common import (
-    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    experiment_instructions,
     default_workload_names,
     mean,
     render_blocks,
-    run_sweep,
     sections_for,
-    suite_workloads,
     workload_trace,
 )
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
-from repro.workloads.suites import SUITE_ORDER, Suite
+from repro.workloads.suites import Suite
 
 
 @dataclass
@@ -50,21 +49,22 @@ def _workload_bias(args) -> Dict[CodeSection, BiasDistribution]:
 
 
 def run_fig02(
-    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    instructions: Optional[int] = None,
     suites: Optional[Sequence[Suite]] = None,
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Fig02Result:
     """Regenerate the Figure 2 data.
 
-    With ``run_parallel`` the per-workload analysis fans out across
-    worker processes.
+    The per-workload analysis runs through the current session's sweep
+    engine; ``run_parallel`` overrides the session's parallelism.
     """
+    instructions = experiment_instructions(instructions)
     result = Fig02Result(instructions=instructions)
-    for suite in suites or SUITE_ORDER:
-        specs = suite_workloads(suites=[suite])
-        arguments = [(spec, instructions) for spec in specs]
-        rows = run_sweep(_workload_bias, arguments, run_parallel, processes)
+    sweep = current_session().suite_sweep(
+        _workload_bias, (instructions,), suites, run_parallel, processes
+    )
+    for suite, specs, rows in sweep:
         per_section: Dict[CodeSection, List] = {}
         for spec, distributions in zip(specs, rows):
             for section, distribution in distributions.items():

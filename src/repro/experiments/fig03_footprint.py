@@ -6,20 +6,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.footprint import FootprintResult, analyze_footprint
+from repro.api.session import current_session
 from repro.experiments.common import (
-    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    experiment_instructions,
     default_workload_names,
     mean,
     render_blocks,
-    run_sweep,
     sections_for,
-    suite_workloads,
     workload_trace,
 )
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
-from repro.workloads.suites import SUITE_ORDER, Suite
+from repro.workloads.suites import Suite
 
 
 @dataclass
@@ -43,21 +42,22 @@ def _workload_footprints(args) -> Dict[CodeSection, FootprintResult]:
 
 
 def run_fig03(
-    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    instructions: Optional[int] = None,
     suites: Optional[Sequence[Suite]] = None,
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Fig03Result:
     """Regenerate the Figure 3 data.
 
-    With ``run_parallel`` the per-workload analysis fans out across
-    worker processes.
+    The per-workload analysis runs through the current session's sweep
+    engine; ``run_parallel`` overrides the session's parallelism.
     """
+    instructions = experiment_instructions(instructions)
     result = Fig03Result(instructions=instructions)
-    for suite in suites or SUITE_ORDER:
-        specs = suite_workloads(suites=[suite])
-        arguments = [(spec, instructions) for spec in specs]
-        rows = run_sweep(_workload_footprints, arguments, run_parallel, processes)
+    sweep = current_session().suite_sweep(
+        _workload_footprints, (instructions,), suites, run_parallel, processes
+    )
+    for suite, specs, rows in sweep:
         static: Dict[CodeSection, List[float]] = {}
         dynamic: Dict[CodeSection, List[float]] = {}
         for spec, footprints in zip(specs, rows):

@@ -5,13 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.session import current_session
 from repro.experiments.common import (
-    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    experiment_instructions,
     default_workload_names,
     mean,
     render_blocks,
-    run_sweep,
-    suite_workloads,
     workload_trace,
 )
 from repro.frontend.predictors import make_predictor
@@ -20,7 +19,7 @@ from repro.frontend.simulation import simulate_branch_predictors
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
-from repro.workloads.suites import SUITE_ORDER, Suite
+from repro.workloads.suites import Suite
 
 
 def _workload_mpki(args) -> Dict[str, float]:
@@ -57,26 +56,28 @@ class Fig05Result:
 
 
 def run_fig05(
-    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    instructions: Optional[int] = None,
     suites: Optional[Sequence[Suite]] = None,
     section: CodeSection = CodeSection.TOTAL,
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Fig05Result:
     """Regenerate the Figure 5 data (all nine predictor configurations).
 
-    With ``run_parallel`` the per-workload sweep (trace generation plus
-    all predictor simulations) fans out across worker processes.
+    The per-workload sweep (trace generation plus all predictor
+    simulations) runs through the current session's sweep engine;
+    ``run_parallel`` overrides the session's parallelism.
     """
+    instructions = experiment_instructions(instructions)
     configurations = predictor_configurations()
     result = Fig05Result(
         instructions=instructions,
         configurations=[label for label, _, _, _ in configurations],
     )
-    for suite in suites or SUITE_ORDER:
-        specs = suite_workloads(suites=[suite])
-        arguments = [(spec, instructions, section) for spec in specs]
-        rows = run_sweep(_workload_mpki, arguments, run_parallel, processes)
+    sweep = current_session().suite_sweep(
+        _workload_mpki, (instructions, section), suites, run_parallel, processes
+    )
+    for suite, specs, rows in sweep:
         per_config: Dict[str, List[float]] = {label: [] for label, _, _, _ in configurations}
         for spec, row in zip(specs, rows):
             result.per_workload[spec.name] = row

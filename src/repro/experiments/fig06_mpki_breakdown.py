@@ -9,11 +9,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.session import current_session
 from repro.experiments.common import (
-    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    experiment_instructions,
     render_blocks,
-    run_sweep,
-    suite_workloads,
     workload_trace,
 )
 from repro.frontend.predictors import make_predictor
@@ -67,21 +66,26 @@ def _workload_breakdown(args) -> Dict[str, Dict[str, float]]:
 
 
 def run_fig06(
-    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    instructions: Optional[int] = None,
     workloads: Optional[Sequence[str]] = None,
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Fig06Result:
     """Regenerate the Figure 6 data.
 
-    With ``run_parallel`` the per-workload simulation fans out across
-    worker processes.
+    The per-workload simulation runs through the current session's
+    sweep engine; ``run_parallel`` overrides the session's parallelism.
     """
+    instructions = experiment_instructions(instructions)
     names = list(workloads or FIGURE6_WORKLOADS)
     result = Fig06Result(instructions=instructions, workloads=names)
-    specs = suite_workloads(names=names)
-    arguments = [(spec, instructions) for spec in specs]
-    rows = run_sweep(_workload_breakdown, arguments, run_parallel, processes)
+    specs, rows = current_session().workload_sweep(
+        _workload_breakdown,
+        (instructions,),
+        names=names,
+        parallel=run_parallel,
+        processes=processes,
+    )
     for spec, breakdown in zip(specs, rows):
         result.breakdown[spec.name] = breakdown
     return result

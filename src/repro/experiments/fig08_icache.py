@@ -5,19 +5,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.session import current_session
 from repro.experiments.common import (
-    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    experiment_instructions,
     default_workload_names,
     mean,
     render_blocks,
-    run_sweep,
-    suite_workloads,
     workload_trace,
 )
 from repro.frontend.simulation import simulate_icache
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
-from repro.workloads.suites import SUITE_ORDER, Suite
+from repro.workloads.suites import Suite
 
 
 def _workload_mpki(args) -> Dict[Tuple[int, int], float]:
@@ -58,19 +57,20 @@ class Fig08Result:
 
 
 def run_fig08(
-    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    instructions: Optional[int] = None,
     suites: Optional[Sequence[Suite]] = None,
     geometries: Optional[Sequence[Tuple[int, int]]] = None,
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Fig08Result:
     """Regenerate the Figure 8 data."""
+    instructions = experiment_instructions(instructions)
     geometries = list(geometries or ICACHE_GEOMETRIES)
     result = Fig08Result(instructions=instructions, geometries=geometries)
-    for suite in suites or SUITE_ORDER:
-        specs = suite_workloads(suites=[suite])
-        arguments = [(spec, instructions, geometries) for spec in specs]
-        rows = run_sweep(_workload_mpki, arguments, run_parallel, processes)
+    sweep = current_session().suite_sweep(
+        _workload_mpki, (instructions, geometries), suites, run_parallel, processes
+    )
+    for suite, specs, rows in sweep:
         per_geometry: Dict[Tuple[int, int], List[float]] = {g: [] for g in geometries}
         for spec, row in zip(specs, rows):
             result.per_workload[spec.name] = row

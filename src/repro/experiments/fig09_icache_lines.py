@@ -6,11 +6,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.line_usefulness import analyze_line_usefulness
+from repro.api.session import current_session
 from repro.experiments.common import (
-    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    experiment_instructions,
     render_blocks,
-    run_sweep,
-    suite_workloads,
     workload_trace,
 )
 from repro.frontend.simulation import simulate_icache
@@ -61,21 +60,26 @@ def _workload_lines(args) -> Tuple[Dict[Tuple[int, int], float], float]:
 
 
 def run_fig09(
-    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    instructions: Optional[int] = None,
     workloads: Optional[Sequence[str]] = None,
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Fig09Result:
     """Regenerate the Figure 9 data.
 
-    With ``run_parallel`` the per-workload simulation fans out across
-    worker processes.
+    The per-workload simulation runs through the current session's
+    sweep engine; ``run_parallel`` overrides the session's parallelism.
     """
+    instructions = experiment_instructions(instructions)
     names = list(workloads or FIGURE9_WORKLOADS)
     result = Fig09Result(instructions=instructions, workloads=names)
-    specs = suite_workloads(names=names)
-    arguments = [(spec, instructions, tuple(result.geometries)) for spec in specs]
-    rows = run_sweep(_workload_lines, arguments, run_parallel, processes)
+    specs, rows = current_session().workload_sweep(
+        _workload_lines,
+        (instructions, tuple(result.geometries)),
+        names=names,
+        parallel=run_parallel,
+        processes=processes,
+    )
     for spec, (mpki, usefulness) in zip(specs, rows):
         result.mpki[spec.name] = mpki
         result.usefulness_128[spec.name] = usefulness

@@ -5,21 +5,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.session import current_session
 from repro.experiments.common import (
-    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    experiment_instructions,
     default_workload_names,
     mean,
     normalize_to_reference,
     render_blocks,
-    run_sweep,
-    suite_workloads,
 )
 from repro.power.cmp_power import evaluate_cmp_energy
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
 from repro.uarch.cmp import STANDARD_CMP_CONFIGS, CmpConfig
 from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
-from repro.workloads.suites import SUITE_ORDER, Suite
+from repro.workloads.suites import Suite
 
 #: Metrics reported by Figure 10, in subplot order.
 FIG10_METRICS = ("execution time", "power", "energy", "energy-delay")
@@ -62,25 +61,27 @@ def _evaluate_workload(args) -> Dict[str, Dict[str, float]]:
 
 
 def run_fig10(
-    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    instructions: Optional[int] = None,
     suites: Optional[Sequence[Suite]] = None,
     cmps: Sequence[CmpConfig] = STANDARD_CMP_CONFIGS,
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Fig10Result:
     """Regenerate the Figure 10 data.
 
-    With ``run_parallel`` the per-workload evaluation (trace, front-end
-    profile, all CMP runs) fans out across worker processes.
+    The per-workload evaluation (trace, front-end profile, all CMP
+    runs) goes through the current session's sweep engine;
+    ``run_parallel`` overrides the session's parallelism.
     """
+    instructions = experiment_instructions(instructions)
     cmps = tuple(cmps)
     result = Fig10Result(
         instructions=instructions, cmp_names=[cmp.name for cmp in cmps]
     )
-    for suite in suites or SUITE_ORDER:
-        specs = suite_workloads(suites=[suite])
-        arguments = [(spec, instructions, cmps) for spec in specs]
-        rows = run_sweep(_evaluate_workload, arguments, run_parallel, processes)
+    sweep = current_session().suite_sweep(
+        _evaluate_workload, (instructions, cmps), suites, run_parallel, processes
+    )
+    for suite, specs, rows in sweep:
         per_metric: Dict[str, Dict[str, List[float]]] = {
             metric: {cmp.name: [] for cmp in cmps} for metric in FIG10_METRICS
         }

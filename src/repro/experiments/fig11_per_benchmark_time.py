@@ -5,12 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.session import current_session
 from repro.experiments.common import (
-    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    experiment_instructions,
     normalize_to_reference,
     render_blocks,
-    run_sweep,
-    suite_workloads,
 )
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
@@ -45,17 +44,18 @@ def _evaluate_workload_time(args) -> Dict[str, float]:
 
 
 def run_fig11(
-    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    instructions: Optional[int] = None,
     workloads: Optional[Sequence[str]] = None,
     cmps: Sequence[CmpConfig] = STANDARD_CMP_CONFIGS,
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Fig11Result:
     """Regenerate the Figure 11 data.
 
-    With ``run_parallel`` the per-workload evaluation fans out across
-    worker processes.
+    The per-workload evaluation runs through the current session's
+    sweep engine; ``run_parallel`` overrides the session's parallelism.
     """
+    instructions = experiment_instructions(instructions)
     cmps = tuple(cmps)
     names = list(workloads or FIGURE11_WORKLOADS)
     result = Fig11Result(
@@ -63,9 +63,13 @@ def run_fig11(
         cmp_names=[cmp.name for cmp in cmps],
         workloads=names,
     )
-    specs = suite_workloads(names=names)
-    arguments = [(spec, instructions, cmps) for spec in specs]
-    rows = run_sweep(_evaluate_workload_time, arguments, run_parallel, processes)
+    specs, rows = current_session().workload_sweep(
+        _evaluate_workload_time,
+        (instructions, cmps),
+        names=names,
+        parallel=run_parallel,
+        processes=processes,
+    )
     for spec, normalized in zip(specs, rows):
         result.normalized_time[spec.name] = normalized
     return result

@@ -6,20 +6,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.branch_bias import analyze_taken_directions
+from repro.api.session import current_session
 from repro.experiments.common import (
-    DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    experiment_instructions,
     default_workload_names,
     mean,
     render_blocks,
-    run_sweep,
     sections_for,
-    suite_workloads,
     workload_trace,
 )
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
-from repro.workloads.suites import SUITE_ORDER, Suite
+from repro.workloads.suites import Suite
 
 
 @dataclass
@@ -46,21 +45,22 @@ def _workload_directions(args) -> Dict[CodeSection, float]:
 
 
 def run_table1(
-    instructions: int = DEFAULT_EXPERIMENT_INSTRUCTIONS,
+    instructions: Optional[int] = None,
     suites: Optional[Sequence[Suite]] = None,
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Table1Result:
     """Regenerate the Table I data.
 
-    With ``run_parallel`` the per-workload analysis fans out across
-    worker processes.
+    The per-workload analysis runs through the current session's sweep
+    engine; ``run_parallel`` overrides the session's parallelism.
     """
+    instructions = experiment_instructions(instructions)
     result = Table1Result(instructions=instructions)
-    for suite in suites or SUITE_ORDER:
-        specs = suite_workloads(suites=[suite])
-        arguments = [(spec, instructions) for spec in specs]
-        rows = run_sweep(_workload_directions, arguments, run_parallel, processes)
+    sweep = current_session().suite_sweep(
+        _workload_directions, (instructions,), suites, run_parallel, processes
+    )
+    for suite, specs, rows in sweep:
         per_section: Dict[CodeSection, List[float]] = {}
         for spec, fractions in zip(specs, rows):
             for section, backward in fractions.items():

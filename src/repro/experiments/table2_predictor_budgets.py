@@ -5,7 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.experiments.common import render_blocks, run_sweep
+from repro.api.session import current_session
+from repro.experiments.common import render_blocks
 from repro.frontend.predictors import make_predictor
 from repro.frontend.predictors.factory import PREDICTOR_KINDS, SIZE_PARAMETERS
 from repro.results.artifacts import TableBlock, block
@@ -35,20 +36,20 @@ def _predictor_cost(args) -> Tuple[Tuple[str, str], int, Dict[str, int]]:
 
 
 def run_table2(
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Table2Result:
     """Regenerate the Table II data from the predictor implementations.
 
-    With ``run_parallel`` the per-configuration sizing fans out across
-    worker processes (cheap, but it keeps the ``--parallel`` contract
+    The per-configuration sizing runs through the current session's
+    sweep engine (cheap, but it keeps the ``--parallel`` contract
     uniform across every experiment).
     """
     result = Table2Result()
     arguments = [
         (kind, budget) for kind in PREDICTOR_KINDS for budget in ("small", "big")
     ]
-    for key, bits, parameters in run_sweep(
+    for key, bits, parameters in current_session().map(
         _predictor_cost, arguments, run_parallel, processes
     ):
         result.storage_bits[key] = bits

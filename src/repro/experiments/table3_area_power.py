@@ -5,7 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.common import render_blocks, run_sweep
+from repro.api.session import current_session
+from repro.experiments.common import render_blocks
 from repro.power.core_power import CoreAreaPower, core_area_power
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
@@ -55,17 +56,17 @@ def _core_budget(core: CoreModel) -> Tuple[str, CoreAreaPower]:
 
 
 def run_table3(
-    run_parallel: bool = False,
+    run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
 ) -> Table3Result:
     """Regenerate Table III from the area/power models.
 
-    With ``run_parallel`` the per-core evaluation fans out across
-    worker processes (cheap, but it keeps the ``--parallel`` contract
-    uniform across every experiment).
+    The per-core evaluation runs through the current session's sweep
+    engine (cheap, but it keeps the ``--parallel`` contract uniform
+    across every experiment).
     """
     result = Table3Result()
-    for name, budget in run_sweep(
+    for name, budget in current_session().map(
         _core_budget, (BASELINE_CORE, TAILORED_CORE), run_parallel, processes
     ):
         result.cores[name] = budget

@@ -14,7 +14,6 @@ cycle.
 
 from __future__ import annotations
 
-import csv
 import enum
 import json
 import os
@@ -170,27 +169,18 @@ def write_artifact_json(artifact: Dict[str, Any], path: str) -> None:
 def write_artifact_csv(artifact: Dict[str, Any], path: str) -> None:
     """Emit an artifact's tables as one CSV file.
 
-    Single-table artifacts become a plain header+rows CSV.  Multi-table
-    artifacts (``cmpsweep``) gain a leading ``table`` column carrying
-    each block's short name; the shared header row is emitted once when
-    every block agrees on it, and per block otherwise, so rows always
-    sit under the headers that describe them.
+    The artifact is lowered to columnar result frames
+    (:func:`repro.api.frame.artifact_frames`) and emitted through the
+    frame writer: single-table artifacts become a plain header+rows
+    CSV; multi-table artifacts (``cmpsweep``) gain a leading ``table``
+    column carrying each block's short name, with the shared header row
+    emitted once when every block agrees on it and per block otherwise.
+    The bytes are identical to the pre-frame writer (asserted in the
+    test suite).
     """
-    blocks = artifact_blocks(artifact)
-    multi = len(blocks) > 1
-    shared_headers = len({item.headers for item in blocks}) == 1
-    with open(path, "w", newline="", encoding="utf-8") as stream:
-        writer = csv.writer(stream)
-        for index, item in enumerate(blocks):
-            if multi:
-                if index == 0 or not shared_headers:
-                    writer.writerow(("table",) + item.headers)
-                label = item.name or str(index)
-                for row in item.rows:
-                    writer.writerow((label,) + row)
-            else:
-                writer.writerow(item.headers)
-                writer.writerows(item.rows)
+    from repro.api.frame import artifact_frames, write_frames_csv
+
+    write_frames_csv(artifact_frames(artifact), path)
 
 
 def ensure_directory(path: str) -> None:

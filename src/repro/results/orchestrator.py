@@ -101,6 +101,23 @@ class ExperimentOutcome:
     status: str
     artifact: Dict[str, Any]
 
+    def frame(self):
+        """The artifact's tables as one columnar ResultFrame.
+
+        This is what the manifest writer emits (multi-table artifacts
+        gain the leading ``table`` column); heterogeneous-header
+        artifacts raise -- use :meth:`frames` for those.
+        """
+        from repro.api.frame import ResultFrame
+
+        return ResultFrame.from_artifact(self.artifact)
+
+    def frames(self):
+        """One ResultFrame per table block of the artifact."""
+        from repro.api.frame import artifact_frames
+
+        return artifact_frames(self.artifact)
+
 
 @dataclass
 class RunReport:

@@ -29,19 +29,17 @@ import tempfile
 import threading
 from typing import Any, Dict, Mapping, Optional, Sequence
 
+from repro.api import runtime_config
 from repro.results.artifacts import ARTIFACT_SCHEMA_VERSION, valid_artifact
 from repro.workloads.trace_cache import TRACE_CACHE_VERSION, register_stats_provider
 
 #: Environment variable selecting the on-disk result-store directory.
-RESULT_CACHE_DIR_VARIABLE = "REPRO_RESULT_CACHE_DIR"
+#: Owned by :mod:`repro.api.runtime_config`; re-exported here.
+RESULT_CACHE_DIR_VARIABLE = runtime_config.RESULT_CACHE_DIR_VARIABLE
 
 #: Version salt folded into every result key.  Bump when experiment
 #: semantics change in a way the configuration cannot see.
 RESULT_STORE_VERSION = 1
-
-#: Values of :data:`RESULT_CACHE_DIR_VARIABLE` that disable the disk
-#: layer outright (case-insensitive), matching the trace cache.
-_DISK_DISABLE_VALUES = frozenset({"", "0", "none", "off", "disabled"})
 
 #: Memoized digest of the package source (see :func:`code_fingerprint`).
 _CODE_FINGERPRINT: Optional[str] = None
@@ -61,20 +59,16 @@ _STATS = {
 
 def default_result_store_dir() -> str:
     """Per-user shared result-store directory (platformdirs-style)."""
-    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
-        os.path.expanduser("~"), ".cache"
-    )
-    return os.path.join(base, "repro-frontend", "results")
+    return runtime_config.default_result_cache_dir()
 
 
 def resolved_result_dir() -> Optional[str]:
-    """The active disk-store directory, or ``None`` when disabled."""
-    value = os.environ.get(RESULT_CACHE_DIR_VARIABLE)
-    if value is None:
-        return None
-    if value.strip().lower() in _DISK_DISABLE_VALUES:
-        return None
-    return value
+    """The active disk-store directory, or ``None`` when disabled.
+
+    Resolution goes through :mod:`repro.api.runtime_config`: an
+    activated session config wins over the environment variable.
+    """
+    return runtime_config.current_result_cache_dir()
 
 
 def enable_shared_result_store() -> Optional[str]:
@@ -86,8 +80,9 @@ def enable_shared_result_store() -> Optional[str]:
     left untouched.  Returns the active directory, or ``None`` when
     explicitly disabled.
     """
-    if os.environ.get(RESULT_CACHE_DIR_VARIABLE) is None:
-        os.environ[RESULT_CACHE_DIR_VARIABLE] = default_result_store_dir()
+    runtime_config.export_environment_default(
+        RESULT_CACHE_DIR_VARIABLE, default_result_store_dir()
+    )
     return resolved_result_dir()
 
 
@@ -124,6 +119,7 @@ def result_key(
     config: Mapping[str, Any],
     workloads: Sequence[str],
     seed: int = 0,
+    runtime: Optional[Mapping[str, Any]] = None,
 ) -> str:
     """Content-address of one experiment result.
 
@@ -132,12 +128,20 @@ def result_key(
     and dictionary insertion orders.  The package source fingerprint is
     part of the material, so results computed by different code never
     share a key.
+
+    ``runtime`` is the semantic slice of the governing
+    :class:`~repro.api.runtime_config.RuntimeConfig` (see its
+    ``semantic()`` method); when omitted it is taken from the currently
+    active config -- the session the orchestrator runs under -- so
+    content addressing keys off :class:`RuntimeConfig` rather than raw
+    environment reads.
     """
     material = {
         "experiment": experiment,
         "config": config,
         "workloads": list(workloads),
         "seed": int(seed),
+        "runtime": runtime_config.runtime_material(runtime),
         "versions": {
             "artifact_schema": ARTIFACT_SCHEMA_VERSION,
             "code": code_fingerprint(),

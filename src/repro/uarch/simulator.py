@@ -26,7 +26,7 @@ from repro.uarch.cpi import CpiStack, cpi_for_section
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.synthesis import SyntheticWorkload
 from repro.workloads.trace_cache import (
-    DEFAULT_PROFILE_INSTRUCTIONS,
+    default_profile_instructions,
     register_cache_clearer,
     register_stats_provider,
     workload_trace,
@@ -135,8 +135,10 @@ def profile_workload_frontend(
     sweeps generated, in process and on disk (parallel sweeps default
     ``REPRO_TRACE_CACHE_DIR`` to the per-user shared directory; cold
     traces themselves come from the compiled segment engine).  When
-    ``instructions`` is omitted it therefore defaults to
-    the cache's :data:`DEFAULT_PROFILE_INSTRUCTIONS`.  The resulting
+    ``instructions`` is omitted it resolves through
+    :func:`repro.workloads.trace_cache.default_profile_instructions`
+    (active session budget > ``REPRO_INSTRUCTIONS`` > the
+    150k default).  The resulting
     profile is itself memoized process-wide, keyed by ``(workload
     name, instructions, cores)``; repeated calls return the *same*
     object, which callers must treat as read-only.  Clearing the trace
@@ -152,7 +154,7 @@ def profile_workload_frontend(
     """
     spec = workload.spec if isinstance(workload, SyntheticWorkload) else workload
     if instructions is None:
-        instructions = DEFAULT_PROFILE_INSTRUCTIONS
+        instructions = default_profile_instructions()
     # Resolve the trace before consulting the profile cache: on a warm
     # run this is a dictionary lookup, and it keeps the shared trace
     # cache the single source of truth (its hit counters account every

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.workloads.spec import SectionProfile, WorkloadSpec
-from repro.workloads.suites import Suite
+from repro.workloads.suites import SUITE_ORDER, Suite
 
 # ----------------------------------------------------------------------
 # Suite-level default profiles
@@ -527,6 +527,26 @@ def get_workload(name: str) -> WorkloadSpec:
 def workloads_in_suite(suite: Suite) -> List[WorkloadSpec]:
     """All workloads belonging to one suite."""
     return [spec for spec in WORKLOADS.values() if spec.suite is suite]
+
+
+def select_workloads(
+    suites: Optional[List[Suite]] = None,
+    names: Optional[List[str]] = None,
+) -> List[WorkloadSpec]:
+    """Select workloads: the whole catalog by default, or by suite/name.
+
+    ``names`` beats ``suites``; with neither, all 41 catalogued
+    workloads are returned in suite order.  The single selection helper
+    behind both :func:`repro.experiments.common.suite_workloads` and
+    :meth:`repro.api.Session.workloads`, so the two layers can never
+    diverge.
+    """
+    if names is not None:
+        return [get_workload(name) for name in names]
+    selected: List[WorkloadSpec] = []
+    for suite in suites if suites is not None else SUITE_ORDER:
+        selected.extend(workloads_in_suite(suite))
+    return selected
 
 
 def hpc_workloads() -> List[WorkloadSpec]:

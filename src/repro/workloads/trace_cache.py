@@ -32,30 +32,41 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api import runtime_config
 from repro.trace.columns import program_columns
 from repro.trace.events import Trace
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.synthesis import SyntheticWorkload, build_workload
 
-#: Default dynamic trace length used by the profiling layers.  Scaled
-#: down from the paper's multi-billion-instruction runs so the full
-#: 41-workload sweeps finish in minutes on a laptop; every caller
-#: accepts an ``instructions`` override.
-DEFAULT_PROFILE_INSTRUCTIONS = 150_000
+#: Default dynamic trace length used by the profiling layers (owned by
+#: :mod:`repro.api.runtime_config`, aliased here so both layers agree
+#: on what a cached "profile length" trace is); every caller accepts an
+#: ``instructions`` override, and an *omitted* override resolves
+#: through :func:`default_profile_instructions` so the
+#: ``REPRO_INSTRUCTIONS`` variable and session budgets apply.
+DEFAULT_PROFILE_INSTRUCTIONS = runtime_config.DEFAULT_INSTRUCTIONS
+
+
+def default_profile_instructions() -> int:
+    """The instruction budget an omitted ``instructions`` resolves to.
+
+    The activated session's budget when one is active, else
+    ``REPRO_INSTRUCTIONS``, else :data:`DEFAULT_PROFILE_INSTRUCTIONS`
+    -- the same explicit > environment > default chain every other
+    runtime knob follows.
+    """
+    return runtime_config.current_config().instructions
 
 #: Directory for the optional on-disk trace cache.  When set, generated
 #: trace columns are persisted as ``.npz`` files so separate driver
-#: *processes* (each CLI invocation is one) share traces too.
-TRACE_CACHE_DIR_VARIABLE = "REPRO_TRACE_CACHE_DIR"
+#: *processes* (each CLI invocation is one) share traces too.  Owned by
+#: :mod:`repro.api.runtime_config`; re-exported here for compatibility.
+TRACE_CACHE_DIR_VARIABLE = runtime_config.TRACE_CACHE_DIR_VARIABLE
 
 #: Version salt folded into the disk-cache fingerprint.  Bump when the
 #: trace *generation* semantics change in a way the static-layout
 #: fingerprint cannot see (e.g. executor or schedule behaviour).
 TRACE_CACHE_VERSION = 1
-
-#: Values of :data:`TRACE_CACHE_DIR_VARIABLE` that disable the disk
-#: layer outright (case-insensitive).
-_DISK_CACHE_DISABLE_VALUES = frozenset({"", "0", "none", "off", "disabled"})
 
 #: Process-wide trace cache: (workload name, instructions, seed) -> Trace.
 _TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
@@ -83,9 +94,20 @@ _STATS_PROVIDERS: Dict[str, Callable[[], Dict[str, int]]] = {}
 
 def register_stats_provider(
     name: str, provider: Callable[[], Dict[str, int]]
-) -> None:
-    """Register (or replace) a named cache-counter snapshot provider."""
+) -> Optional[Callable[[], Dict[str, int]]]:
+    """Register a named cache-counter snapshot provider.
+
+    Re-registering an already-used name **replaces** the previous
+    provider rather than accumulating a duplicate: each cache owns
+    exactly one snapshot per name, so a module re-import (or a test
+    installing an instrumented provider) never double-counts in
+    :func:`all_cache_stats`.  Returns the replaced provider, or
+    ``None`` for a first registration, so callers that wrap an
+    existing provider can restore it.
+    """
+    previous = _STATS_PROVIDERS.get(name)
     _STATS_PROVIDERS[name] = provider
+    return previous
 
 
 def all_cache_stats() -> Dict[str, Dict[str, int]]:
@@ -104,25 +126,19 @@ def default_shared_cache_dir() -> str:
     conventional per-user cache root on every platform this project
     targets.
     """
-    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
-        os.path.expanduser("~"), ".cache"
-    )
-    return os.path.join(base, "repro-frontend", "traces")
+    return runtime_config.default_trace_cache_dir()
 
 
 def resolved_cache_dir() -> Optional[str]:
     """The active disk-cache directory, or ``None`` when disabled.
 
-    Unset means "no disk layer" for plain calls (parallel sweeps opt in
-    via :func:`enable_shared_cache`); an explicit disable value turns
-    the disk layer off everywhere.
+    Resolution goes through :mod:`repro.api.runtime_config`: an
+    activated session config wins; otherwise the environment variable
+    rules, where unset means "no disk layer" for plain calls (parallel
+    sweeps opt in via :func:`enable_shared_cache`) and an explicit
+    disable value turns the disk layer off everywhere.
     """
-    value = os.environ.get(TRACE_CACHE_DIR_VARIABLE)
-    if value is None:
-        return None
-    if value.strip().lower() in _DISK_CACHE_DISABLE_VALUES:
-        return None
-    return value
+    return runtime_config.current_trace_cache_dir()
 
 
 def enable_shared_cache() -> Optional[str]:
@@ -133,8 +149,9 @@ def enable_shared_cache() -> Optional[str]:
     inherit it); an explicit path or disable value is left untouched.
     Returns the active directory, or ``None`` when explicitly disabled.
     """
-    if os.environ.get(TRACE_CACHE_DIR_VARIABLE) is None:
-        os.environ[TRACE_CACHE_DIR_VARIABLE] = default_shared_cache_dir()
+    runtime_config.export_environment_default(
+        TRACE_CACHE_DIR_VARIABLE, default_shared_cache_dir()
+    )
     return resolved_cache_dir()
 
 
@@ -183,7 +200,7 @@ def workload_trace(
     trace columns on disk and share them across driver processes.
     """
     if instructions is None:
-        instructions = DEFAULT_PROFILE_INSTRUCTIONS
+        instructions = default_profile_instructions()
     key = (spec.name, int(instructions), int(seed))
     with _TRACE_CACHE_LOCK:
         cached = _TRACE_CACHE.get(key)

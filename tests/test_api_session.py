@@ -1,0 +1,452 @@
+"""The Session/Plan/ResultFrame layer and its legacy-shim equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ResultFrame, RuntimeConfig, Session, current_session, default_session
+from repro.api.frame import artifact_frames, write_frames_csv
+from repro.experiments import run_fig06, tables_fig06
+from repro.experiments.common import run_sweep, workload_trace
+from repro.frontend.configs import BASELINE_FRONTEND, TAILORED_FRONTEND
+from repro.frontend.simulation import simulate_frontend
+from repro.results.artifacts import build_artifact, block, write_artifact_csv
+from repro.trace.instruction import CodeSection
+from repro.workloads import get_workload
+from repro.workloads.trace_cache import (
+    all_cache_stats,
+    clear_trace_cache,
+    register_stats_provider,
+)
+
+INSTRUCTIONS = 30_000
+
+
+class TestResultFrame:
+    def test_named_columns_and_rows(self):
+        frame = ResultFrame.from_rows(
+            ["workload", "mpki"], [["FT", 1.5], ["LU", 2.5]]
+        )
+        assert len(frame) == 2
+        assert frame.column("workload") == ["FT", "LU"]
+        assert frame.column("mpki") == [1.5, 2.5]
+        assert frame.rows() == [("FT", 1.5), ("LU", 2.5)]
+        assert frame.records()[0] == {"workload": "FT", "mpki": 1.5}
+        with pytest.raises(KeyError):
+            frame.column("nope")
+
+    def test_row_width_is_validated(self):
+        with pytest.raises(ValueError):
+            ResultFrame.from_rows(["a", "b"], [["only-one"]])
+
+    def test_duplicate_columns_are_rejected(self):
+        with pytest.raises(ValueError, match="duplicate column"):
+            ResultFrame.from_rows(["a", "a"], [[1, 2]])
+
+    def test_select_unknown_column_names_the_frame_columns(self):
+        frame = ResultFrame.from_rows(["config"], [["tailored"]])
+        with pytest.raises(KeyError, match="frame has config"):
+            frame.select(confg="tailored")
+
+    def test_select(self):
+        frame = ResultFrame.from_rows(
+            ["config", "v"], [["base", 1], ["tail", 2], ["base", 3]]
+        )
+        picked = frame.select(config="base")
+        assert picked.column("v") == [1, 3]
+
+    def test_csv_and_json_roundtrip(self, tmp_path):
+        frame = ResultFrame.from_rows(["a", "b"], [["x", 1], ["y", 2]])
+        text = frame.to_csv()
+        assert text.splitlines() == ["a,b", "x,1", "y,2"]
+        path = tmp_path / "frame.csv"
+        frame.to_csv(str(path))
+        assert path.read_bytes() == text.encode()
+        payload = frame.to_json()
+        assert '"columns"' in payload and '"rows"' in payload
+
+    def test_artifact_csv_bytes_match_legacy_writer(self, tmp_path):
+        """write_artifact_csv (now frame-backed) emits the historical bytes."""
+        single = build_artifact(
+            "t", "T", [block(["h1", "h2"], [["a", "b"], ["c", "d"]])], {}
+        )
+        multi_shared = build_artifact(
+            "t",
+            "T",
+            [
+                block(["h"], [["1"]], name="one"),
+                block(["h"], [["2"]], name="two"),
+            ],
+            {},
+        )
+        multi_mixed = build_artifact(
+            "t",
+            "T",
+            [
+                block(["h"], [["1"]], name="one"),
+                block(["g", "gg"], [["2", "3"]], name="two"),
+            ],
+            {},
+        )
+        for index, artifact in enumerate((single, multi_shared, multi_mixed)):
+            path = tmp_path / f"a{index}.csv"
+            write_artifact_csv(artifact, str(path))
+            expected = tmp_path / f"e{index}.csv"
+            write_frames_csv(artifact_frames(artifact), str(expected))
+            assert path.read_bytes() == expected.read_bytes()
+        # And the known layouts, explicitly (CRLF per the csv module).
+        write_artifact_csv(single, str(tmp_path / "single.csv"))
+        assert (
+            tmp_path / "single.csv"
+        ).read_bytes() == b"h1,h2\r\na,b\r\nc,d\r\n"
+        write_artifact_csv(multi_shared, str(tmp_path / "shared.csv"))
+        assert (
+            tmp_path / "shared.csv"
+        ).read_bytes() == b"table,h\r\none,1\r\ntwo,2\r\n"
+        write_artifact_csv(multi_mixed, str(tmp_path / "mixed.csv"))
+        assert (
+            tmp_path / "mixed.csv"
+        ).read_bytes() == b"table,h\r\none,1\r\ntable,g,gg\r\ntwo,2,3\r\n"
+
+    def test_from_artifact_combines_shared_headers(self):
+        artifact = build_artifact(
+            "t",
+            "T",
+            [
+                block(["h"], [["1"]], name="one"),
+                block(["h"], [["2"]], name="two"),
+            ],
+            {},
+        )
+        frame = ResultFrame.from_artifact(artifact)
+        assert frame.columns == ("table", "h")
+        assert frame.rows() == [("one", "1"), ("two", "2")]
+
+
+class TestSessionConfig:
+    def test_overrides_beat_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "111")
+        session = Session(instructions=222)
+        assert session.config.instructions == 222
+        assert not session.follows_environment
+
+    def test_config_object_plus_overrides(self):
+        base = RuntimeConfig(instructions=10, parallel=True)
+        session = Session(base, instructions=20)
+        assert session.config.instructions == 20
+        assert session.config.parallel is True
+
+    def test_default_session_follows_environment(self, monkeypatch):
+        session = default_session()
+        assert session.follows_environment
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "777")
+        assert session.config.instructions == 777
+        monkeypatch.delenv("REPRO_INSTRUCTIONS")
+        assert session.config.instructions != 777
+
+    def test_follow_environment_rejects_explicit_config(self):
+        with pytest.raises(ValueError):
+            Session(RuntimeConfig(), follow_environment=True)
+
+    def test_current_session_tracks_activation(self):
+        session = Session(instructions=INSTRUCTIONS)
+        assert current_session() is default_session()
+        with session.activate():
+            assert current_session() is session
+        assert current_session() is default_session()
+
+
+class TestSessionPipeline:
+    def test_omitted_instructions_resolve_through_the_session(self):
+        """workload_trace(spec) with no budget honours the active session."""
+        clear_trace_cache()
+        session = Session(instructions=INSTRUCTIONS)
+        with session.activate():
+            trace = workload_trace(get_workload("FT"))
+        assert trace.instruction_count() >= INSTRUCTIONS
+        assert trace.instruction_count() < 2 * INSTRUCTIONS
+        clear_trace_cache()
+
+    def test_result_key_accepts_explicit_runtime_material(self):
+        from repro.results.store import result_key
+
+        compiled = result_key("x", {}, (), runtime={"trace_engine": "compiled"})
+        reference = result_key("x", {}, (), runtime={"trace_engine": "reference"})
+        ambient = result_key("x", {}, ())
+        assert compiled != reference
+        assert ambient == compiled  # default runtime is the compiled engine
+        with Session(trace_engine="reference").activate():
+            assert result_key("x", {}, ()) == reference
+
+    def test_trace_matches_legacy_entry_point(self):
+        session = Session(instructions=INSTRUCTIONS)
+        trace = session.trace("FT")
+        legacy = workload_trace(get_workload("FT"), INSTRUCTIONS)
+        assert np.array_equal(trace.block_ids, legacy.block_ids)
+        assert np.array_equal(trace.taken_column, legacy.taken_column)
+
+    def test_reference_engine_session_is_bit_identical(self):
+        clear_trace_cache()
+        compiled = Session(instructions=INSTRUCTIONS).trace("CoMD")
+        clear_trace_cache()
+        reference = Session(
+            instructions=INSTRUCTIONS, trace_engine="reference"
+        ).trace("CoMD")
+        clear_trace_cache()
+        assert np.array_equal(compiled.block_ids, reference.block_ids)
+        assert np.array_equal(compiled.taken_column, reference.taken_column)
+        assert np.array_equal(compiled.target_column, reference.target_column)
+
+    def test_frontend_matches_direct_simulation(self):
+        session = Session(instructions=INSTRUCTIONS)
+        result = session.frontend("FT", BASELINE_FRONTEND)
+        direct = simulate_frontend(session.trace("FT"), BASELINE_FRONTEND)
+        assert result.branch.mispredictions == direct.branch.mispredictions
+        assert result.btb.misses == direct.btb.misses
+        assert result.icache.misses == direct.icache.misses
+
+    def test_sweep_plan_is_bit_identical_to_per_config_simulation(self):
+        session = Session(instructions=INSTRUCTIONS)
+        plan = session.sweep(
+            workloads=["FT", "gobmk"],
+            sections=(CodeSection.TOTAL,),
+        )
+        frame = plan.execute()
+        assert frame.columns == (
+            "workload",
+            "suite",
+            "section",
+            "config",
+            "branch_mpki",
+            "btb_mpki",
+            "icache_mpki",
+        )
+        assert len(frame) == 4  # 2 workloads x 1 section x 2 configs
+        for name in ("FT", "gobmk"):
+            trace = session.trace(name)
+            for config in (BASELINE_FRONTEND, TAILORED_FRONTEND):
+                direct = simulate_frontend(trace, config, CodeSection.TOTAL)
+                row = frame.select(workload=name, config=config.name)
+                assert row.column("branch_mpki") == [direct.branch.mpki]
+                assert row.column("btb_mpki") == [direct.btb.mpki]
+                assert row.column("icache_mpki") == [direct.icache.mpki]
+
+    def test_sweep_rejects_duplicate_config_names(self):
+        session = Session(instructions=INSTRUCTIONS)
+        from dataclasses import replace
+
+        clashing = replace(TAILORED_FRONTEND, name=BASELINE_FRONTEND.name)
+        with pytest.raises(ValueError, match="duplicate front-end config name"):
+            session.sweep(workloads=["FT"], configs=[BASELINE_FRONTEND, clashing])
+
+    def test_sweep_rejects_unknown_metrics(self):
+        session = Session(instructions=INSTRUCTIONS)
+        with pytest.raises(KeyError, match="unknown sweep metric"):
+            session.sweep(workloads=["FT"], metrics=["mpki_per_parsec"])
+
+    def test_sweep_plan_describe(self):
+        session = Session(instructions=INSTRUCTIONS)
+        description = session.sweep(workloads=["FT"]).describe()
+        assert description["kind"] == "frontend-sweep"
+        assert description["workloads"] == ["FT"]
+        assert description["instructions"] == INSTRUCTIONS
+        assert description["runtime"]["trace_engine"] == "compiled"
+
+    def test_experiment_plan_matches_direct_driver(self):
+        session = Session(instructions=INSTRUCTIONS)
+        frames = session.experiment("fig6", use_store=False).frames()
+        direct = tables_fig06(run_fig06(instructions=INSTRUCTIONS))
+        (frame,) = frames.values()
+        assert frame.columns == direct[0].headers
+        assert [tuple(str(c) for c in row) for row in frame.rows()] == [
+            tuple(row) for row in direct[0].rows
+        ]
+
+    def test_experiment_plan_execute_returns_frame(self):
+        session = Session(instructions=INSTRUCTIONS)
+        frame = session.experiment("table3", use_store=False).execute()
+        assert "core" in frame.columns
+        assert len(frame) > 0
+
+    def test_concat(self):
+        one = ResultFrame.from_rows(["a"], [[1]])
+        two = ResultFrame.from_rows(["a"], [[2]])
+        merged = ResultFrame.concat([one, two], title="both")
+        assert merged.rows() == [(1,), (2,)]
+        assert merged.title == "both"
+        with pytest.raises(ValueError):
+            ResultFrame.concat([])
+        with pytest.raises(ValueError):
+            ResultFrame.concat([one, ResultFrame.from_rows(["b"], [[3]])])
+
+    def test_parallel_sweep_primes_the_plan_seed(self, tmp_path):
+        """A non-zero-seed parallel sweep primes seed-N traces, not seed-0."""
+        import os
+
+        clear_trace_cache()
+        session = Session(
+            instructions=INSTRUCTIONS,
+            parallel=True,
+            processes=2,
+            trace_cache_dir=str(tmp_path),
+        )
+        session.sweep(workloads=["FT", "LU"], seed=2).execute()
+        cached = sorted(os.listdir(tmp_path))
+        assert cached == [f"FT-{INSTRUCTIONS}-2.npz", f"LU-{INSTRUCTIONS}-2.npz"]
+        clear_trace_cache()
+
+    def test_driver_honours_active_session_budget(self):
+        """run_fig06() under an activated session uses its budget, like
+        session.experiment('fig6') does."""
+        session = Session(instructions=INSTRUCTIONS)
+        with session.activate():
+            direct = run_fig06()
+        assert direct.instructions == INSTRUCTIONS
+
+    def test_parallel_override_defaults_the_shared_cache(self, monkeypatch, tmp_path):
+        """map(parallel=True) on a session with no trace-cache setting
+        auto-enables the shared directory, like legacy run_sweep."""
+        import repro.api.runtime_config as rc_module
+
+        monkeypatch.delenv("REPRO_TRACE_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        clear_trace_cache()
+        session = Session(instructions=INSTRUCTIONS)
+        assert session.config.trace_cache_dir is None
+        specs = [get_workload("FT"), get_workload("LU")]
+        arguments = [(spec, INSTRUCTIONS) for spec in specs]
+        session.map(_shim_worker, arguments, parallel=True, processes=2)
+        import os
+
+        assert sorted(os.listdir(rc_module.default_trace_cache_dir())) == [
+            f"FT-{INSTRUCTIONS}-0.npz",
+            f"LU-{INSTRUCTIONS}-0.npz",
+        ]
+        # An explicitly disabled session still skips the disk layer.
+        clear_trace_cache()
+        disabled = Session(instructions=INSTRUCTIONS, trace_cache_dir=None)
+        for name in os.listdir(rc_module.default_trace_cache_dir()):
+            os.unlink(os.path.join(rc_module.default_trace_cache_dir(), name))
+        disabled.map(_shim_worker, arguments, parallel=True, processes=2)
+        assert os.listdir(rc_module.default_trace_cache_dir()) == []
+        clear_trace_cache()
+
+    def test_parallel_session_does_not_leak_environment(self, monkeypatch, tmp_path):
+        import os
+
+        monkeypatch.delenv("REPRO_TRACE_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_TRACE_ENGINE", raising=False)
+        session = Session(
+            instructions=INSTRUCTIONS,
+            parallel=True,
+            processes=2,
+            trace_cache_dir=str(tmp_path),
+        )
+        session.sweep(workloads=["FT", "LU"]).execute()
+        assert os.environ.get("REPRO_TRACE_CACHE_DIR") is None
+        assert os.environ.get("REPRO_TRACE_ENGINE") is None
+
+    def test_session_parallel_matches_serial(self):
+        serial = Session(instructions=INSTRUCTIONS).sweep(
+            workloads=["FT", "LU", "CoMD"]
+        ).execute()
+        parallel = Session(
+            instructions=INSTRUCTIONS,
+            parallel=True,
+            processes=2,
+            trace_cache_dir=None,
+        ).sweep(workloads=["FT", "LU", "CoMD"]).execute()
+        assert serial.rows() == parallel.rows()
+
+
+class TestCliSession:
+    def test_cli_honours_runtime_environment_variables(self, monkeypatch):
+        """Omitted CLI flags fall through to REPRO_* (flags > env > default)."""
+        import repro.cli as cli
+        from repro.api import session as session_module
+
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+        monkeypatch.setenv("REPRO_PROCESSES", "2")
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "15000")
+        captured = {}
+        original = session_module.Session
+
+        class Probe(original):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                captured.setdefault("config", self.config)
+
+        monkeypatch.setattr(session_module, "Session", Probe)
+        assert cli.main(["table3"]) == 0
+        config = captured["config"]
+        assert config.parallel is True
+        assert config.processes == 2
+        assert config.instructions == 15000
+
+    def test_cli_flags_beat_environment(self, monkeypatch, capsys):
+        import repro.cli as cli
+        from repro.api import session as session_module
+
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "15000")
+        captured = {}
+        original = session_module.Session
+
+        class Probe(original):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                captured.setdefault("config", self.config)
+
+        monkeypatch.setattr(session_module, "Session", Probe)
+        assert cli.main(["fig6", "--instructions", "20000"]) == 0
+        assert captured["config"].instructions == 20000
+
+
+class TestLegacyShims:
+    def test_run_sweep_delegates_to_default_session(self):
+        specs = [get_workload("FT"), get_workload("LU")]
+        arguments = [(spec, INSTRUCTIONS) for spec in specs]
+        rows = run_sweep(_shim_worker, arguments)
+        assert rows == [_shim_worker(args) for args in arguments]
+
+    def test_run_sweep_parallel_matches_serial(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        specs = [get_workload("FT"), get_workload("LU")]
+        arguments = [(spec, INSTRUCTIONS) for spec in specs]
+        serial = run_sweep(_shim_worker, arguments)
+        parallel = run_sweep(_shim_worker, arguments, run_parallel=True, processes=2)
+        assert serial == parallel
+
+
+class TestStatsProviderRegistry:
+    def test_reregistration_replaces_not_duplicates(self):
+        calls = []
+
+        def first():
+            calls.append("first")
+            return {"value": 1}
+
+        def second():
+            calls.append("second")
+            return {"value": 2}
+
+        previous = register_stats_provider("api-test-cache", first)
+        assert previous is None
+        replaced = register_stats_provider("api-test-cache", second)
+        assert replaced is first
+        try:
+            stats = all_cache_stats()
+            assert stats["api-test-cache"] == {"value": 2}
+            # The replaced provider never ran: one name, one snapshot.
+            assert calls == ["second"]
+            assert sum(1 for name in stats if name == "api-test-cache") == 1
+        finally:
+            from repro.workloads import trace_cache
+
+            trace_cache._STATS_PROVIDERS.pop("api-test-cache", None)
+
+
+def _shim_worker(args):
+    spec, instructions = args
+    trace = workload_trace(spec, instructions)
+    return (spec.name, int(trace.block_ids.shape[0]))

@@ -1,0 +1,146 @@
+"""API-surface snapshot: the public shape of ``repro.api`` is pinned.
+
+These tests fail when the public surface changes *silently*: growing
+``__all__``, renaming a Session method, changing a signature, or
+breaking the README quickstart.  Intentional API changes update the
+snapshots here in the same commit.
+"""
+
+from __future__ import annotations
+
+import inspect
+import pathlib
+
+import repro.api
+from repro.api import ResultFrame, RuntimeConfig, Session
+from repro.api.plan import ExperimentPlan, FrontendSweepPlan
+from repro.api.runtime_config import ENVIRONMENT_VARIABLES
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+class TestPublicSurface:
+    def test_all_is_pinned(self):
+        assert repro.api.__all__ == [
+            "ENVIRONMENT_VARIABLES",
+            "ExperimentPlan",
+            "FrontendSweepPlan",
+            "Plan",
+            "ResultFrame",
+            "RuntimeConfig",
+            "Session",
+            "current_session",
+            "default_session",
+        ]
+
+    def test_every_export_resolves(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
+    def test_environment_variables_are_pinned(self):
+        assert ENVIRONMENT_VARIABLES == (
+            "REPRO_TRACE_ENGINE",
+            "REPRO_TRACE_CACHE_DIR",
+            "REPRO_RESULT_CACHE_DIR",
+            "REPRO_PARALLEL",
+            "REPRO_PROCESSES",
+            "REPRO_INSTRUCTIONS",
+        )
+
+    def test_runtime_config_fields_are_pinned(self):
+        assert [
+            (field.name, field.default)
+            for field in RuntimeConfig.__dataclass_fields__.values()
+        ] == [
+            ("trace_engine", "compiled"),
+            ("trace_cache_dir", None),
+            ("result_cache_dir", None),
+            ("parallel", False),
+            ("processes", None),
+            ("instructions", 150_000),
+        ]
+
+    def test_session_method_signatures(self):
+        def parameters(callable_):
+            return list(inspect.signature(callable_).parameters)
+
+        assert parameters(Session.__init__) == [
+            "self",
+            "config",
+            "follow_environment",
+            "overrides",
+        ]
+        assert parameters(Session.sweep) == [
+            "self",
+            "workloads",
+            "configs",
+            "metrics",
+            "sections",
+            "instructions",
+            "seed",
+        ]
+        assert parameters(Session.experiments) == [
+            "self",
+            "names",
+            "scenario_names",
+            "instructions",
+            "use_store",
+        ]
+        assert parameters(Session.map) == [
+            "self",
+            "worker",
+            "arguments",
+            "parallel",
+            "processes",
+            "prime",
+        ]
+        assert parameters(Session.trace) == [
+            "self",
+            "workload",
+            "instructions",
+            "seed",
+        ]
+
+    def test_plan_and_frame_shapes(self):
+        assert set(FrontendSweepPlan.__dataclass_fields__) == {
+            "session",
+            "workloads",
+            "configs",
+            "sections",
+            "metrics",
+            "instructions",
+            "seed",
+        }
+        assert set(ExperimentPlan.__dataclass_fields__) == {
+            "session",
+            "names",
+            "scenario_names",
+            "instructions",
+            "use_store",
+        }
+        for method in ("rows", "records", "column", "select", "to_csv", "to_json"):
+            assert callable(getattr(ResultFrame, method)), method
+
+    def test_py_typed_marker_ships(self):
+        package_dir = pathlib.Path(inspect.getfile(repro.api)).parent.parent
+        assert (package_dir / "py.typed").is_file()
+
+
+def readme_quickstart_source() -> str:
+    """The verbatim python code block of the README's Python API section."""
+    text = README.read_text(encoding="utf-8")
+    _, _, after = text.partition("## Python API")
+    assert after, "README lost its '## Python API' section"
+    _, _, block = after.partition("```python\n")
+    code, fence, _ = block.partition("```")
+    assert fence, "README Python API section lost its code block"
+    return code
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_runs_verbatim(self, capsys):
+        code = readme_quickstart_source()
+        exec(compile(code, str(README), "exec"), {"__name__": "__readme__"})
+        out = capsys.readouterr().out
+        assert "workload" in out  # frame.columns printed
+        assert "core" in out  # table3 CSV printed

@@ -1,0 +1,244 @@
+"""RuntimeConfig resolution: explicit kwarg > environment > default.
+
+Every field of :class:`repro.api.runtime_config.RuntimeConfig` is
+checked through the full precedence chain, including the ``none``-
+disables-cache semantics of both cache directories and the activation
+scoping the Session layer builds on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import runtime_config as rc
+
+
+class TestPrecedence:
+    """Explicit argument beats environment variable beats default."""
+
+    def test_defaults_with_clean_environment(self, monkeypatch):
+        for name in rc.ENVIRONMENT_VARIABLES:
+            monkeypatch.delenv(name, raising=False)
+        config = rc.RuntimeConfig.from_environment()
+        assert config.trace_engine == "compiled"
+        assert config.trace_cache_dir is None
+        assert config.result_cache_dir is None
+        assert config.parallel is False
+        assert config.processes is None
+        assert config.instructions == rc.DEFAULT_INSTRUCTIONS
+
+    def test_trace_engine(self, monkeypatch):
+        monkeypatch.delenv(rc.TRACE_ENGINE_VARIABLE, raising=False)
+        assert rc.RuntimeConfig.from_environment().trace_engine == "compiled"
+        monkeypatch.setenv(rc.TRACE_ENGINE_VARIABLE, "reference")
+        assert rc.RuntimeConfig.from_environment().trace_engine == "reference"
+        # Explicit beats the environment.
+        assert (
+            rc.RuntimeConfig.from_environment(trace_engine="compiled").trace_engine
+            == "compiled"
+        )
+        # Unknown *environment* spellings resolve to the default engine
+        # (lenient, the historical env-var contract) ...
+        monkeypatch.setenv(rc.TRACE_ENGINE_VARIABLE, "warp-drive")
+        assert rc.RuntimeConfig.from_environment().trace_engine == "compiled"
+        # ... but an unknown *explicit* engine raises: the typed API
+        # must not swallow typos.
+        with pytest.raises(ValueError):
+            rc.RuntimeConfig.from_environment(trace_engine="referense")
+        with pytest.raises(ValueError):
+            rc.RuntimeConfig(trace_engine="bogus")
+        with pytest.raises(ValueError):
+            rc.RuntimeConfig().replace(trace_engine="bogus")
+
+    @pytest.mark.parametrize(
+        "field,variable",
+        [
+            ("trace_cache_dir", rc.TRACE_CACHE_DIR_VARIABLE),
+            ("result_cache_dir", rc.RESULT_CACHE_DIR_VARIABLE),
+        ],
+    )
+    def test_cache_dirs(self, monkeypatch, tmp_path, field, variable):
+        env_dir = str(tmp_path / "from-env")
+        explicit_dir = str(tmp_path / "explicit")
+
+        monkeypatch.delenv(variable, raising=False)
+        assert getattr(rc.RuntimeConfig.from_environment(), field) is None
+
+        monkeypatch.setenv(variable, env_dir)
+        assert getattr(rc.RuntimeConfig.from_environment(), field) == env_dir
+        # Explicit path beats the environment path.
+        config = rc.RuntimeConfig.from_environment(**{field: explicit_dir})
+        assert getattr(config, field) == explicit_dir
+        # Explicit None (and every disable spelling) disables even when
+        # the environment names a directory.
+        config = rc.RuntimeConfig.from_environment(**{field: None})
+        assert getattr(config, field) is None
+        for spelling in ("none", "NONE", "off", "0", "", "disabled"):
+            config = rc.RuntimeConfig.from_environment(**{field: spelling})
+            assert getattr(config, field) is None, spelling
+
+        # Environment disable spellings resolve to None too.
+        monkeypatch.setenv(variable, "none")
+        assert getattr(rc.RuntimeConfig.from_environment(), field) is None
+        # ... and an explicit path still beats an environment disable.
+        config = rc.RuntimeConfig.from_environment(**{field: explicit_dir})
+        assert getattr(config, field) == explicit_dir
+
+    def test_parallel_defaults_the_shared_trace_cache(self, monkeypatch, tmp_path):
+        """Parallel with a fully unset trace cache auto-enables the
+        per-user shared directory (the legacy run_sweep behaviour);
+        explicit or environment settings still win."""
+        monkeypatch.delenv(rc.TRACE_CACHE_DIR_VARIABLE, raising=False)
+        config = rc.RuntimeConfig.from_environment(parallel=True)
+        assert config.trace_cache_dir == rc.default_trace_cache_dir()
+        # An environment disable wins over the parallel default.
+        monkeypatch.setenv(rc.TRACE_CACHE_DIR_VARIABLE, "none")
+        assert (
+            rc.RuntimeConfig.from_environment(parallel=True).trace_cache_dir is None
+        )
+        # So does an explicit disable or an explicit directory.
+        monkeypatch.delenv(rc.TRACE_CACHE_DIR_VARIABLE, raising=False)
+        config = rc.RuntimeConfig.from_environment(
+            parallel=True, trace_cache_dir=None
+        )
+        assert config.trace_cache_dir is None
+        config = rc.RuntimeConfig.from_environment(
+            parallel=True, trace_cache_dir=str(tmp_path)
+        )
+        assert config.trace_cache_dir == str(tmp_path)
+
+    def test_parallel(self, monkeypatch):
+        monkeypatch.delenv(rc.PARALLEL_VARIABLE, raising=False)
+        assert rc.RuntimeConfig.from_environment().parallel is False
+        for truthy in ("1", "true", "YES", "on"):
+            monkeypatch.setenv(rc.PARALLEL_VARIABLE, truthy)
+            assert rc.RuntimeConfig.from_environment().parallel is True, truthy
+        monkeypatch.setenv(rc.PARALLEL_VARIABLE, "0")
+        assert rc.RuntimeConfig.from_environment().parallel is False
+        monkeypatch.setenv(rc.PARALLEL_VARIABLE, "1")
+        assert rc.RuntimeConfig.from_environment(parallel=False).parallel is False
+
+    def test_processes(self, monkeypatch):
+        monkeypatch.delenv(rc.PROCESSES_VARIABLE, raising=False)
+        assert rc.RuntimeConfig.from_environment().processes is None
+        monkeypatch.setenv(rc.PROCESSES_VARIABLE, "4")
+        assert rc.RuntimeConfig.from_environment().processes == 4
+        assert rc.RuntimeConfig.from_environment(processes=2).processes == 2
+        assert rc.RuntimeConfig.from_environment(processes=None).processes is None
+        # Garbage in the environment falls back to the default.
+        monkeypatch.setenv(rc.PROCESSES_VARIABLE, "many")
+        assert rc.RuntimeConfig.from_environment().processes is None
+
+    def test_instructions(self, monkeypatch):
+        monkeypatch.delenv(rc.INSTRUCTIONS_VARIABLE, raising=False)
+        assert (
+            rc.RuntimeConfig.from_environment().instructions
+            == rc.DEFAULT_INSTRUCTIONS
+        )
+        monkeypatch.setenv(rc.INSTRUCTIONS_VARIABLE, "60000")
+        assert rc.RuntimeConfig.from_environment().instructions == 60000
+        assert (
+            rc.RuntimeConfig.from_environment(instructions=12345).instructions
+            == 12345
+        )
+        # An explicit zero is preserved, not swallowed by a falsy check.
+        assert rc.RuntimeConfig.from_environment(instructions=0).instructions == 0
+        monkeypatch.setenv(rc.INSTRUCTIONS_VARIABLE, "0")
+        assert rc.RuntimeConfig.from_environment().instructions == 0
+
+
+class TestConfigBehaviour:
+    def test_replace_normalizes_cache_dirs_and_engine(self):
+        config = rc.RuntimeConfig()
+        assert config.replace(trace_cache_dir="none").trace_cache_dir is None
+        assert config.replace(result_cache_dir="off").result_cache_dir is None
+        assert config.replace(trace_engine="REFERENCE").trace_engine == "reference"
+        kept = config.replace(trace_cache_dir="/tmp/somewhere")
+        assert kept.trace_cache_dir == "/tmp/somewhere"
+
+    def test_direct_construction_normalizes_too(self):
+        config = rc.RuntimeConfig(
+            trace_engine="Reference", trace_cache_dir="NONE", result_cache_dir=""
+        )
+        assert config.trace_engine == "reference"
+        assert config.trace_cache_dir is None
+        assert config.result_cache_dir is None
+
+    def test_semantic_excludes_execution_details(self):
+        config = rc.RuntimeConfig(parallel=True, processes=8, instructions=1)
+        assert config.semantic() == {"trace_engine": "compiled"}
+
+    def test_describe_covers_every_field(self):
+        described = rc.RuntimeConfig().describe()
+        assert set(described) == {
+            "trace_engine",
+            "trace_cache_dir",
+            "result_cache_dir",
+            "parallel",
+            "processes",
+            "instructions",
+        }
+
+
+class TestActivation:
+    """An activated config wins over the environment, scoped."""
+
+    def test_activated_config_overrides_environment(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(rc.TRACE_CACHE_DIR_VARIABLE, str(tmp_path / "env"))
+        monkeypatch.setenv(rc.TRACE_ENGINE_VARIABLE, "reference")
+        config = rc.RuntimeConfig(
+            trace_engine="compiled", trace_cache_dir=str(tmp_path / "mine")
+        )
+        assert rc.current_trace_cache_dir() == str(tmp_path / "env")
+        assert rc.current_trace_engine() == "reference"
+        with rc.activated(config):
+            assert rc.active_config() is config
+            assert rc.current_trace_cache_dir() == str(tmp_path / "mine")
+            assert rc.current_trace_engine() == "compiled"
+            assert rc.current_config() is config
+        assert rc.active_config() is None
+        assert rc.current_trace_cache_dir() == str(tmp_path / "env")
+        assert rc.current_trace_engine() == "reference"
+
+    def test_activation_nests_and_restores_on_error(self):
+        outer = rc.RuntimeConfig(trace_engine="reference")
+        inner = rc.RuntimeConfig(trace_engine="compiled")
+        with rc.activated(outer):
+            with rc.activated(inner):
+                assert rc.current_trace_engine() == "compiled"
+            assert rc.current_trace_engine() == "reference"
+            with pytest.raises(RuntimeError):
+                with rc.activated(inner):
+                    raise RuntimeError("boom")
+            assert rc.active_config() is outer
+        assert rc.active_config() is None
+
+    def test_worker_environment_exports_and_restores(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(rc.TRACE_CACHE_DIR_VARIABLE, str(tmp_path / "env"))
+        monkeypatch.delenv(rc.TRACE_ENGINE_VARIABLE, raising=False)
+        config = rc.RuntimeConfig(
+            trace_engine="reference", trace_cache_dir=str(tmp_path / "mine")
+        )
+        with rc.worker_environment(config):
+            assert rc.read_environment(rc.TRACE_CACHE_DIR_VARIABLE) == str(
+                tmp_path / "mine"
+            )
+            assert rc.read_environment(rc.TRACE_ENGINE_VARIABLE) == "reference"
+        # Fully restored: no leak into later legacy-mode resolution.
+        assert rc.read_environment(rc.TRACE_CACHE_DIR_VARIABLE) == str(
+            tmp_path / "env"
+        )
+        assert rc.read_environment(rc.TRACE_ENGINE_VARIABLE) is None
+        # A disabled cache dir is exported as an explicit disable, so
+        # workers cannot fall back to an inherited directory.
+        with rc.worker_environment(rc.RuntimeConfig()):
+            assert rc.read_environment(rc.TRACE_CACHE_DIR_VARIABLE) == "none"
+
+    def test_export_environment_default(self, monkeypatch):
+        monkeypatch.delenv(rc.PROCESSES_VARIABLE, raising=False)
+        rc.export_environment_default(rc.PROCESSES_VARIABLE, "3")
+        assert rc.read_environment(rc.PROCESSES_VARIABLE) == "3"
+        # An already-set variable is left untouched.
+        rc.export_environment_default(rc.PROCESSES_VARIABLE, "9")
+        assert rc.read_environment(rc.PROCESSES_VARIABLE) == "3"
+        monkeypatch.delenv(rc.PROCESSES_VARIABLE, raising=False)
