@@ -147,13 +147,40 @@ class FrontendSweepPlan(Plan):
             "runtime": self.session.config.describe(),
         }
 
+    def journal_scope(self) -> str:
+        """Content-addressed checkpoint scope of this sweep.
+
+        A digest of the plan's full provenance via
+        :func:`repro.results.store.result_key` -- which also folds in
+        the package source fingerprint and the session's semantic
+        runtime -- so an interrupted ``execute()`` resumes per-item
+        checkpoints only when the code and the plan are both unchanged.
+        """
+        import dataclasses
+
+        from repro.results.store import result_key
+
+        return result_key(
+            "frontend-sweep-plan",
+            {
+                "configs": [dataclasses.asdict(config) for config in self.configs],
+                "sections": [section.name for section in self.sections],
+                "instructions": self.instructions,
+            },
+            [spec.name for spec in self.workloads],
+            seed=self.seed,
+            runtime=self.session.config.semantic(),
+        )
+
     def execute(self) -> ResultFrame:
         arguments = [
             (spec, self.instructions, self.seed, self.configs, self.sections)
             for spec in self.workloads
         ]
         prime = [(spec, self.instructions, self.seed) for spec in self.workloads]
-        results = self.session.map(_sweep_worker, arguments, prime=prime)
+        results = self.session.map(
+            _sweep_worker, arguments, prime=prime, journal_scope=self.journal_scope()
+        )
         rows: List[List[Any]] = []
         for spec, by_key in zip(self.workloads, results):
             for section in self.sections:

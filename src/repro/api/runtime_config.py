@@ -56,6 +56,25 @@ PROCESSES_VARIABLE = "REPRO_PROCESSES"
 #: Environment variable overriding the default dynamic trace length.
 INSTRUCTIONS_VARIABLE = "REPRO_INSTRUCTIONS"
 
+#: Environment variable selecting the sweep executor (``auto``,
+#: ``serial``, ``processes``, or a ``module:attribute`` entry point).
+EXECUTOR_VARIABLE = "REPRO_EXECUTOR"
+
+#: Environment variable fixing the per-item retry count of supervised
+#: sweeps (transient failures and worker deaths).
+RETRIES_VARIABLE = "REPRO_RETRIES"
+
+#: Environment variable fixing the per-item timeout (seconds) of
+#: supervised sweeps (unset or non-positive: unlimited).
+ITEM_TIMEOUT_VARIABLE = "REPRO_ITEM_TIMEOUT"
+
+#: Environment variable fixing the base retry backoff delay (seconds).
+RETRY_DELAY_VARIABLE = "REPRO_RETRY_DELAY"
+
+#: Environment variable carrying a deterministic fault-injection plan
+#: (inline JSON or a path to a JSON file; see :mod:`repro.exec.faults`).
+FAULT_PLAN_VARIABLE = "REPRO_FAULT_PLAN"
+
 #: Every environment variable the runtime honours, in documentation
 #: order.  The API-surface test pins this tuple: growing it is an API
 #: change.
@@ -66,6 +85,11 @@ ENVIRONMENT_VARIABLES: Tuple[str, ...] = (
     PARALLEL_VARIABLE,
     PROCESSES_VARIABLE,
     INSTRUCTIONS_VARIABLE,
+    EXECUTOR_VARIABLE,
+    RETRIES_VARIABLE,
+    ITEM_TIMEOUT_VARIABLE,
+    RETRY_DELAY_VARIABLE,
+    FAULT_PLAN_VARIABLE,
 )
 
 #: Default dynamic trace length used by the profiling layers.  Scaled
@@ -77,6 +101,16 @@ DEFAULT_INSTRUCTIONS = 150_000
 #: The default trace generation engine (bit-identical to ``reference``;
 #: see :mod:`repro.trace.compiler`).
 DEFAULT_TRACE_ENGINE = "compiled"
+
+#: The default sweep executor: ``auto`` resolves to ``processes`` for
+#: parallel sweeps and ``serial`` otherwise (see :mod:`repro.exec`).
+DEFAULT_EXECUTOR = "auto"
+
+#: Default per-item retry count of supervised sweeps.
+DEFAULT_RETRIES = 2
+
+#: Default base backoff delay between retries, in seconds.
+DEFAULT_RETRY_DELAY = 0.05
 
 #: The recognised trace engines.
 TRACE_ENGINES = ("compiled", "reference")
@@ -184,6 +218,16 @@ def _env_int(name: str, default: Optional[int]) -> Optional[int]:
         return default
 
 
+def _env_float(name: str, default: Optional[float]) -> Optional[float]:
+    value = read_environment(name)
+    if value is None:
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        return default
+
+
 @dataclass(frozen=True)
 class RuntimeConfig:
     """Frozen snapshot of every runtime knob the package honours.
@@ -209,6 +253,18 @@ class RuntimeConfig:
     processes: Optional[int] = None
     #: Default dynamic trace length per workload.
     instructions: int = DEFAULT_INSTRUCTIONS
+    #: Sweep executor: ``"auto"``, a registry name (``"serial"``,
+    #: ``"processes"``), or a ``"module:attribute"`` entry point.
+    executor: str = DEFAULT_EXECUTOR
+    #: Per-item retries of supervised sweeps (0 disables retrying).
+    retries: int = DEFAULT_RETRIES
+    #: Per-item timeout in seconds (``None``/non-positive: unlimited).
+    item_timeout: Optional[float] = None
+    #: Base backoff delay between retries, in seconds.
+    retry_delay: float = DEFAULT_RETRY_DELAY
+    #: Deterministic fault-injection plan: inline JSON or a file path
+    #: (``None``: no injection).  Parsed by :mod:`repro.exec.faults`.
+    fault_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -220,6 +276,17 @@ class RuntimeConfig:
         object.__setattr__(
             self, "result_cache_dir", normalize_cache_dir(self.result_cache_dir)
         )
+        executor = str(self.executor).strip() or DEFAULT_EXECUTOR
+        object.__setattr__(self, "executor", executor)
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        timeout = self.item_timeout
+        if timeout is not None and float(timeout) <= 0:
+            timeout = None
+        object.__setattr__(
+            self, "item_timeout", None if timeout is None else float(timeout)
+        )
+        object.__setattr__(self, "retry_delay", max(0.0, float(self.retry_delay)))
 
     @classmethod
     def from_environment(
@@ -231,6 +298,11 @@ class RuntimeConfig:
         parallel: Union[bool, Any] = _UNSET,
         processes: Union[int, None, Any] = _UNSET,
         instructions: Union[int, Any] = _UNSET,
+        executor: Union[str, Any] = _UNSET,
+        retries: Union[int, Any] = _UNSET,
+        item_timeout: Union[float, None, Any] = _UNSET,
+        retry_delay: Union[float, Any] = _UNSET,
+        fault_plan: Union[str, None, Any] = _UNSET,
     ) -> "RuntimeConfig":
         """Resolve a config with explicit > environment > default.
 
@@ -272,6 +344,24 @@ class RuntimeConfig:
                 resolved_instructions = DEFAULT_INSTRUCTIONS
         else:
             resolved_instructions = int(instructions)
+        if executor is _UNSET:
+            executor = read_environment(EXECUTOR_VARIABLE) or DEFAULT_EXECUTOR
+        if retries is _UNSET:
+            resolved_retries = _env_int(RETRIES_VARIABLE, DEFAULT_RETRIES)
+            if resolved_retries is None or resolved_retries < 0:
+                resolved_retries = DEFAULT_RETRIES
+        else:
+            resolved_retries = int(retries)
+        if item_timeout is _UNSET:
+            item_timeout = _env_float(ITEM_TIMEOUT_VARIABLE, None)
+        if retry_delay is _UNSET:
+            resolved_retry_delay = _env_float(RETRY_DELAY_VARIABLE, None)
+            if resolved_retry_delay is None:
+                resolved_retry_delay = DEFAULT_RETRY_DELAY
+        else:
+            resolved_retry_delay = float(retry_delay)
+        if fault_plan is _UNSET:
+            fault_plan = read_environment(FAULT_PLAN_VARIABLE) or None
         return cls(
             trace_engine=resolved_engine,
             trace_cache_dir=normalize_cache_dir(trace_cache_dir),
@@ -279,6 +369,11 @@ class RuntimeConfig:
             parallel=resolved_parallel,
             processes=resolved_processes,
             instructions=int(resolved_instructions),
+            executor=str(executor),
+            retries=resolved_retries,
+            item_timeout=item_timeout,
+            retry_delay=resolved_retry_delay,
+            fault_plan=fault_plan,
         )
 
     def replace(self, **changes: Any) -> "RuntimeConfig":
@@ -290,7 +385,8 @@ class RuntimeConfig:
 
         Only knobs that could conceivably change stored numbers belong
         here; execution details (parallelism, worker counts, cache
-        locations) are deliberately absent because serial and parallel
+        locations, executor choice, retry/timeout policy, fault plans)
+        are deliberately absent because serial and supervised parallel
         sweeps -- and both engines -- produce bit-identical results.
         The engine is still keyed as defence in depth: if a regression
         ever broke engine equivalence, the two engines' *result-store*

@@ -16,10 +16,12 @@ default) -- and exposes the pipeline behind typed methods::
 Execution primitives
 --------------------
 :meth:`Session.map` is the sweep engine every experiment driver routes
-through: serial by default, fanned out over the ``parallel_map``
-process pool when the session's config (or the caller) says so, with
-the shared disk trace cache primed first exactly like the historical
-``run_sweep``.  While a session executes, its config is *activated*
+through: serial by default, fanned out over the supervised executors of
+:mod:`repro.exec` when the session's config (or the caller) says so --
+with per-item retries, timeouts, checkpoint journaling, and structured
+failure reports -- and the shared disk trace cache primed first exactly
+like the historical ``run_sweep``.  While a session executes, its
+config is *activated*
 (see :func:`repro.api.runtime_config.activated`) so every layer below
 -- trace engine selection, cache directories, the result store -- sees
 one consistent snapshot instead of re-reading the environment.
@@ -99,11 +101,14 @@ def _prime_worker(args) -> None:
 def _default_prime_keys(arguments: Sequence) -> "List[tuple]":
     """Prime keys inferred from conventional driver argument tuples.
 
-    The historical heuristic: tuples shaped ``(spec, instructions,
-    ...)`` are primed at seed 0 (every driver worker uses the default
-    seed); anything else is left to the worker.  Callers whose workers
-    use other seeds (the sweep plans) pass explicit keys to
-    :meth:`Session.map` instead of relying on this.
+    Tuples shaped ``(spec, instructions, ...)`` are primed; the seed is
+    taken from the third position when it is a plain ``int`` (the
+    ``(spec, instructions, seed, ...)`` worker convention) and defaults
+    to 0 otherwise.  The check is ``type(...) is int`` on purpose:
+    drivers also pass ``(spec, instructions, section)`` tuples whose
+    :class:`~repro.trace.instruction.CodeSection` is an ``IntEnum`` and
+    must not be misread as a seed.  Callers whose workers derive seeds
+    elsewhere pass explicit keys to :meth:`Session.map` instead.
     """
     keys = []
     seen = set()
@@ -113,10 +118,13 @@ def _default_prime_keys(arguments: Sequence) -> "List[tuple]":
             and len(args) >= 2
             and isinstance(args[0], WorkloadSpec)
             and isinstance(args[1], int)
-            and (args[0].name, args[1]) not in seen
         ):
-            seen.add((args[0].name, args[1]))
-            keys.append((args[0], args[1], 0))
+            seed = args[2] if len(args) >= 3 and type(args[2]) is int else 0
+            key = (args[0].name, args[1], seed)
+            if key in seen:
+                continue
+            seen.add(key)
+            keys.append((args[0], args[1], seed))
     return keys
 
 
@@ -387,26 +395,65 @@ class Session:
         parallel: Optional[bool] = None,
         processes: Optional[int] = None,
         prime: Optional[Sequence] = None,
+        journal_scope: Optional[str] = None,
     ) -> List:
         """Run a per-workload sweep worker over its argument tuples.
 
+        The historical "list of values" contract over
+        :meth:`map_report`: every item's value in argument order, or a
+        :class:`repro.exec.SweepError` carrying the structured failure
+        report (and the partial results) when any item permanently
+        failed.
+        """
+        return self.map_report(
+            worker,
+            arguments,
+            parallel=parallel,
+            processes=processes,
+            prime=prime,
+            journal_scope=journal_scope,
+        ).values()
+
+    def map_report(
+        self,
+        worker: Callable,
+        arguments: Sequence,
+        parallel: Optional[bool] = None,
+        processes: Optional[int] = None,
+        prime: Optional[Sequence] = None,
+        journal_scope: Optional[str] = None,
+    ):
+        """Run a sweep under supervision; return the full SweepReport.
+
         The execution policy comes from the session's config unless the
-        caller overrides it: serial by default (sharing the in-process
-        trace cache), fanned out over :func:`parallel_map` when
-        parallel.  Before forking, the shared disk trace cache is
-        primed -- under the session's ``trace_cache_dir`` for explicit
-        sessions, or (for the environment-following default session)
-        under the legacy auto-enabled per-user directory, exported to
-        the environment so worker processes inherit it.
+        caller overrides it: the ``executor`` knob selects the engine
+        (``"auto"``: the supervised process pool when parallel, serial
+        in-process otherwise), with per-item retries, timeouts, and
+        fault injection from the config.  Before a process executor
+        spawns workers, the shared disk trace cache is primed -- under
+        the session's ``trace_cache_dir`` for explicit sessions, or
+        (for the environment-following default session) under the
+        legacy auto-enabled per-user directory, exported to the
+        environment so worker processes inherit it.
 
         ``prime`` names the traces to pre-generate as ``(spec,
         instructions, seed)`` triples; when omitted they are inferred
-        from conventionally shaped ``(spec, instructions, ...)``
-        argument tuples at seed 0 (the driver-worker convention).
+        from conventionally shaped ``(spec, instructions, [seed,] ...)``
+        argument tuples.  ``journal_scope`` (or the ambient scope the
+        orchestrator activates) enables per-item checkpointing: a
+        killed sweep rerun under the same scope replays completed items
+        from disk and computes only the missing ones.
         """
+        from repro.exec import executors as exec_executors
+        from repro.exec import journal as exec_journal
+        from repro.exec.faults import FaultPlan
+
         config = self.config
         use_parallel = config.parallel if parallel is None else bool(parallel)
         worker_count = config.processes if processes is None else processes
+        executor_name = config.executor
+        if executor_name == "auto":
+            executor_name = "processes" if use_parallel else "serial"
         if (
             use_parallel
             and not self._follow_environment
@@ -418,9 +465,25 @@ class Session:
             # default a parallel construction would have resolved, so
             # the legacy run_sweep(run_parallel=True) behaviour holds.
             config = config.replace(trace_cache_dir=rc.default_trace_cache_dir())
+        settings = exec_executors.ExecutionSettings(
+            processes=worker_count,
+            retries=config.retries,
+            item_timeout=config.item_timeout,
+            retry_delay=config.retry_delay,
+            fault_plan=FaultPlan.from_spec(config.fault_plan),
+        )
+        executor = exec_executors.resolve_executor(executor_name)
         with self._activated_as(config):
-            if not use_parallel:
-                return [worker(args) for args in arguments]
+            scope = (
+                journal_scope
+                if journal_scope is not None
+                else exec_journal.active_journal_scope()
+            )
+            journal = exec_journal.journal_for_scope(scope)
+            if executor.name == "serial":
+                return exec_executors.execute_items(
+                    worker, arguments, settings, executor, journal
+                )
             if prime is None:
                 prime = _default_prime_keys(arguments)
             if self._follow_environment:
@@ -433,7 +496,9 @@ class Session:
                     shared_dir = enable_shared_cache()
                     if shared_dir is not None:
                         _prime_shared_traces(prime, worker_count)
-                    return parallel_map(worker, arguments, worker_count)
+                    return exec_executors.execute_items(
+                        worker, arguments, settings, executor, journal
+                    )
             # Explicit session: export its trace knobs around the pool
             # only, so spawn-platform workers resolve the session's
             # engine and cache directory (fork platforms also inherit
@@ -441,7 +506,9 @@ class Session:
             with rc.worker_environment(config):
                 if config.trace_cache_dir is not None:
                     _prime_shared_traces(prime, worker_count)
-                return parallel_map(worker, arguments, worker_count)
+                return exec_executors.execute_items(
+                    worker, arguments, settings, executor, journal
+                )
 
     def workload_sweep(
         self,

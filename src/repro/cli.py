@@ -76,6 +76,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker process count for --parallel (default: CPU count)",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="per-item retries for transient sweep failures (default: "
+        "the REPRO_RETRIES environment variable, else 2)",
+    )
+    parser.add_argument(
+        "--executor",
+        type=str,
+        default=None,
+        help="sweep executor: 'auto' (default), 'serial', 'processes', "
+        "or a 'module:attribute' entry point (REPRO_EXECUTOR)",
+    )
+    parser.add_argument(
         "--scenarios",
         type=str,
         default=None,
@@ -202,6 +216,10 @@ def main(argv: Optional[list] = None) -> int:
         overrides["parallel"] = args.parallel
     if args.processes is not None:
         overrides["processes"] = args.processes
+    if args.retries is not None:
+        overrides["retries"] = args.retries
+    if args.executor is not None:
+        overrides["executor"] = args.executor
     explicit_instructions = _resolve_instructions(args)
     if explicit_instructions is not None:
         overrides["instructions"] = explicit_instructions
@@ -222,11 +240,21 @@ def main(argv: Optional[list] = None) -> int:
     # (fig10) before their dependents (fig11), and every completed
     # experiment lands in the result store immediately, so an
     # interrupted `all` run resumes where it died.
+    from repro.exec import SweepError
+
     combined = RunReport(instructions=instructions)
     for name in names:
         before = _cache_counters() if args.verbose else None
         plan = session.experiment(name, scenario_names=scenario_names)
-        report = plan.report()
+        try:
+            report = plan.report()
+        except SweepError as error:
+            # A sweep with permanently failed items: show the
+            # structured failure report instead of a worker traceback.
+            # Completed items are checkpointed, so a rerun replays them
+            # and recomputes only what is missing.
+            print(f"error: {name} failed:\n{error}", file=sys.stderr)
+            return 1
         outcome = report.outcome(name)
         combined.outcomes.append(outcome)
         print(f"== {name} ==")

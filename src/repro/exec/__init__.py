@@ -1,0 +1,79 @@
+"""``repro.exec``: the fault-tolerant execution layer.
+
+Everything that turns a sweep from "a bare ``Pool.map`` that dies with
+its weakest worker" into supervised, resumable, testable execution:
+
+:class:`SerialExecutor` / :class:`SupervisedProcessExecutor`
+    Per-item dispatch with typed outcomes, retries with backoff,
+    worker replacement, per-item timeouts, and graceful serial
+    degradation.  Selected by ``RuntimeConfig.executor`` (``"serial"``,
+    ``"processes"``, or a ``"module:attribute"`` entry point).
+:class:`ItemResult` / :class:`SweepReport` / :class:`SweepError`
+    Every item finishes as a typed outcome; failed sweeps raise a
+    structured failure report carrying the partial results.
+:class:`SweepJournal`
+    Per-item checkpoints under a content-addressed scope, so a killed
+    sweep resumes replaying only the missing items.
+:class:`FaultPlan`
+    Deterministic fault injection (worker kills, transient exceptions,
+    hangs, cache truncation) at exact item indices, so every
+    robustness claim above is asserted by tests rather than trusted.
+"""
+
+from repro.exec.executors import (
+    ExecutionSettings,
+    Executor,
+    SerialExecutor,
+    SupervisedProcessExecutor,
+    execute_items,
+    executor_names,
+    register_executor,
+    resolve_executor,
+)
+from repro.exec.faults import (
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    SimulatedWorkerDeath,
+)
+from repro.exec.journal import (
+    SweepJournal,
+    active_journal_scope,
+    item_key,
+    journal_for_scope,
+    journal_info,
+    journal_scope,
+    quarantine_entry,
+)
+from repro.exec.results import (
+    ITEM_STATUSES,
+    ItemResult,
+    SweepError,
+    SweepReport,
+)
+
+__all__ = [
+    "ExecutionSettings",
+    "Executor",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "ITEM_STATUSES",
+    "ItemResult",
+    "SerialExecutor",
+    "SimulatedWorkerDeath",
+    "SupervisedProcessExecutor",
+    "SweepError",
+    "SweepJournal",
+    "SweepReport",
+    "active_journal_scope",
+    "execute_items",
+    "executor_names",
+    "item_key",
+    "journal_for_scope",
+    "journal_info",
+    "journal_scope",
+    "quarantine_entry",
+    "register_executor",
+    "resolve_executor",
+]

@@ -1,0 +1,220 @@
+"""Per-item sweep checkpoints: the journal a killed sweep resumes from.
+
+The PR 4 orchestrator already resumes at *experiment* granularity
+(every completed artifact lands in the content-addressed result store
+the moment it exists).  The journal extends that down to individual
+sweep items: while a sweep runs, every completed item's value is
+persisted -- atomically, one file per item, under a content-addressed
+scope -- so a run killed at item ``k`` replays items ``0..k-1`` from
+disk and computes only the missing ones.
+
+A journal scope is a digest of the sweep's full provenance (the
+orchestrator uses the experiment's result-store key, which folds in the
+code fingerprint; plans derive an equivalent digest), so a stale
+journal from different code or a different configuration can never be
+replayed.  Corrupt entries -- a torn write from a hard kill, a damaged
+disk -- are quarantined (renamed to ``*.corrupt``), counted, and
+recomputed; they are evidence of a fault, never silently deleted and
+never trusted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import hashlib
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.api import runtime_config
+
+#: Filename suffix of one journaled item value (a pickle).
+ENTRY_SUFFIX = ".item"
+
+#: Suffix appended to quarantined (unreadable) entries.
+CORRUPT_SUFFIX = ".corrupt"
+
+_STATS = {"records": 0, "replays": 0, "quarantined": 0, "discards": 0}
+_STATS_LOCK = threading.Lock()
+
+
+def _count(counter: str, amount: int = 1) -> None:
+    with _STATS_LOCK:
+        _STATS[counter] += amount
+
+
+def journal_info() -> Dict[str, int]:
+    """Process-wide journal counters (records/replays/quarantined)."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_journal_info() -> None:
+    """Zero the counters (tests)."""
+    with _STATS_LOCK:
+        for counter in _STATS:
+            _STATS[counter] = 0
+
+
+def count_replays(amount: int) -> None:
+    """Record journal entries actually replayed into a sweep."""
+    if amount:
+        _count("replays", amount)
+
+
+def item_key(worker: Callable, index: int, args: Any) -> str:
+    """Content-address of one sweep item.
+
+    Digests the worker's qualified name, the item's position, and the
+    ``repr`` of its argument tuple -- all deterministic across
+    processes (the arguments are frozen dataclasses, enums, and
+    scalars) -- so a resumed run derives the same key for the same
+    item and a changed argument derives a different one.
+    """
+    material = f"{worker.__module__}.{worker.__qualname__}|{index}|{args!r}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class SweepJournal:
+    """One sweep's per-item checkpoint directory.
+
+    Entries are written atomically (write-then-rename into
+    ``<key>.item``), so a reader -- including a concurrent writer
+    racing on the same scope -- never observes a half-written pickle;
+    last writer wins with identical content, exactly like the result
+    store.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def load(self) -> Dict[str, Any]:
+        """Every replayable entry, keyed by item key.
+
+        Unreadable entries are quarantined: renamed to ``*.corrupt``
+        next to the journal (counted in :func:`journal_info`), so the
+        evidence survives while the item is simply recomputed.
+        """
+        entries: Dict[str, Any] = {}
+        if not os.path.isdir(self.directory):
+            return entries
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(ENTRY_SUFFIX):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "rb") as stream:
+                    value = pickle.load(stream)
+            except Exception:
+                if quarantine_entry(path) is not None:
+                    _count("quarantined")
+                continue
+            entries[name[: -len(ENTRY_SUFFIX)]] = value
+        return entries
+
+    def record(self, key: str, value: Any) -> bool:
+        """Persist one completed item's value (atomic, best-effort)."""
+        path = os.path.join(self.directory, f"{key}{ENTRY_SUFFIX}")
+        temporary = None
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            handle, temporary = tempfile.mkstemp(
+                suffix=ENTRY_SUFFIX + ".tmp", dir=self.directory
+            )
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temporary, path)
+        except (OSError, pickle.PicklingError):
+            if temporary is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(temporary)
+            return False  # The journal is an optimisation, never a failure.
+        _count("records")
+        return True
+
+    def discard(self) -> None:
+        """Drop the whole journal (its sweep completed and was stored)."""
+        if os.path.isdir(self.directory):
+            shutil.rmtree(self.directory, ignore_errors=True)
+            _count("discards")
+            # Leave no empty ``journals/`` shell behind in the result
+            # store; rmdir refuses (and is suppressed) while sibling
+            # scopes still hold checkpoints.
+            with contextlib.suppress(OSError):
+                os.rmdir(os.path.dirname(self.directory))
+
+
+def quarantine_entry(path: str) -> Optional[str]:
+    """Rename an unreadable cache/journal file to ``*.corrupt``.
+
+    Shared by the journal, the disk trace cache, and the result store:
+    the damaged bytes are preserved as evidence (with a numeric suffix
+    when a previous quarantine already claimed the name) and the caller
+    bumps its own counter and recomputes.  Returns the quarantine path,
+    or ``None`` when the rename itself failed (the entry is then left
+    in place and simply treated as a miss).
+    """
+    destination = path + CORRUPT_SUFFIX
+    attempt = 0
+    while os.path.exists(destination):
+        attempt += 1
+        destination = f"{path}{CORRUPT_SUFFIX}.{attempt}"
+    try:
+        os.replace(path, destination)
+    except OSError:
+        return None
+    return destination
+
+
+def journal_for_scope(scope: Optional[str]) -> Optional[SweepJournal]:
+    """The journal backing one sweep scope, or ``None``.
+
+    Journals live under the result store's directory
+    (``<result_cache_dir>/journals/<scope prefix>``): without a disk
+    result store there is nothing durable to resume from, so sweeps
+    simply run unjournaled.
+    """
+    if scope is None:
+        return None
+    base = runtime_config.current_result_cache_dir()
+    if base is None:
+        return None
+    return SweepJournal(os.path.join(base, "journals", scope[:32]))
+
+
+#: The ambient journal scope (set by the orchestrator around a runner,
+#: so every ``Session.map`` a driver performs checkpoints under the
+#: experiment's own result key).  A ContextVar: concurrent sessions in
+#: separate threads keep separate scopes, forked workers inherit.
+_SCOPE: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_journal_scope", default=None
+)
+
+
+def active_journal_scope() -> Optional[str]:
+    """The ambient journal scope, or ``None``."""
+    return _SCOPE.get()
+
+
+@contextlib.contextmanager
+def journal_scope(scope: Optional[str]) -> Iterator[None]:
+    """Pin the ambient journal scope for a with-block."""
+    token = _SCOPE.set(scope)
+    try:
+        yield
+    finally:
+        _SCOPE.reset(token)
+
+
+def _register_stats_provider() -> None:
+    """Expose the journal counters through the shared stats registry."""
+    from repro.workloads.trace_cache import register_stats_provider
+
+    register_stats_provider("journal", journal_info)
+
+
+_register_stats_provider()

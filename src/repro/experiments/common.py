@@ -9,6 +9,7 @@ selection helpers, and small formatting utilities.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.results.artifacts import TableBlock
@@ -33,8 +34,8 @@ from repro.workloads.trace_cache import (
     resolved_cache_dir,
     trace_cache_info,
     trace_on_disk,
-    workload_trace,
 )
+from repro.workloads.trace_cache import workload_trace as _workload_trace
 
 __all__ = [
     # Sweep and selection helpers owned by this module.
@@ -100,6 +101,39 @@ def experiment_instructions(instructions: Optional[int]) -> int:
 SECTION_ORDER = (CodeSection.TOTAL, CodeSection.SERIAL, CodeSection.PARALLEL)
 
 
+def _warn_deprecated(name: str, replacement: str) -> None:
+    """Emit the scheduled removal warning for a legacy entry point.
+
+    ``stacklevel=3`` points the warning at the *caller* of the shim
+    (two frames up from here: this helper, then the shim itself).
+    """
+    warnings.warn(
+        f"repro.experiments.common.{name} is deprecated and will be removed; "
+        f"use {replacement} instead (bit-identical results).",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def workload_trace(
+    spec: WorkloadSpec,
+    instructions: Optional[int] = None,
+    seed: int = 0,
+):
+    """Build (or reuse) a workload's trace (deprecation shim).
+
+    The cache itself has lived in :mod:`repro.workloads.trace_cache`
+    since the layering split; import it from there (or call
+    :meth:`repro.api.Session.trace`) -- this historical re-export now
+    warns and will be removed on the deprecation schedule.
+    """
+    _warn_deprecated(
+        "workload_trace",
+        "Session.trace(...) or repro.workloads.trace_cache.workload_trace",
+    )
+    return _workload_trace(spec, instructions, seed=seed)
+
+
 def parallel_map(
     function: Callable,
     items: Sequence,
@@ -132,8 +166,10 @@ def run_sweep(
     directory when unset (set the variable to ``none`` to opt out) --
     the sweep's traces are primed into it, and the work then fans out
     across worker processes via :func:`parallel_map`.  New code should
-    call ``Session.map`` (or build a plan) instead.
+    call ``Session.map`` (or build a plan) instead; this shim now warns
+    and will be removed on the deprecation schedule.
     """
+    _warn_deprecated("run_sweep", "Session.map(...)")
     from repro.api.session import default_session
 
     return default_session().map(

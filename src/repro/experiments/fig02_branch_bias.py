@@ -17,12 +17,12 @@ from repro.experiments.common import (
     mean,
     render_blocks,
     sections_for,
-    workload_trace,
 )
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import Suite
+from repro.workloads.trace_cache import workload_trace
 
 
 @dataclass

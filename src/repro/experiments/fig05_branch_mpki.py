@@ -11,7 +11,6 @@ from repro.experiments.common import (
     default_workload_names,
     mean,
     render_blocks,
-    workload_trace,
 )
 from repro.frontend.predictors import make_predictor
 from repro.frontend.predictors.factory import predictor_configurations
@@ -20,6 +19,7 @@ from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import Suite
+from repro.workloads.trace_cache import workload_trace
 
 
 def _workload_mpki(args) -> Dict[str, float]:

@@ -13,12 +13,12 @@ from repro.api.session import current_session
 from repro.experiments.common import (
     experiment_instructions,
     render_blocks,
-    workload_trace,
 )
 from repro.frontend.predictors import make_predictor
 from repro.frontend.simulation import simulate_branch_predictors
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
+from repro.workloads.trace_cache import workload_trace
 
 #: The benchmarks shown in Figure 6 of the paper.
 FIGURE6_WORKLOADS = (

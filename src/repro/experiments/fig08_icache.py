@@ -11,12 +11,12 @@ from repro.experiments.common import (
     default_workload_names,
     mean,
     render_blocks,
-    workload_trace,
 )
 from repro.frontend.simulation import simulate_icache
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
 from repro.workloads.suites import Suite
+from repro.workloads.trace_cache import workload_trace
 
 
 def _workload_mpki(args) -> Dict[Tuple[int, int], float]:

@@ -10,11 +10,11 @@ from repro.api.session import current_session
 from repro.experiments.common import (
     experiment_instructions,
     render_blocks,
-    workload_trace,
 )
 from repro.frontend.simulation import simulate_icache
 from repro.results.artifacts import TableBlock, block
 from repro.results.spec import ExperimentSpec
+from repro.workloads.trace_cache import workload_trace
 
 #: The benchmarks shown in Figure 9 of the paper.
 FIGURE9_WORKLOADS = ("CoEVP", "CoGL", "fma3d", "xalancbmk", "omnetpp")

@@ -22,6 +22,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.exec.journal import journal_for_scope, journal_scope
 from repro.results.artifacts import (
     build_artifact,
     ensure_directory,
@@ -257,12 +258,22 @@ def run_experiments(
                 if result is not None:
                     status = "derived"
         if result is None:
-            result = spec.runner(
-                **_runner_kwargs(spec, config, run_parallel, processes)
-            )
+            # Every Session.map the driver performs checkpoints its
+            # items under this experiment's own result key (which folds
+            # in the code fingerprint), so a killed run replays only
+            # the missing items on the next invocation.
+            with journal_scope(key):
+                result = spec.runner(
+                    **_runner_kwargs(spec, config, run_parallel, processes)
+                )
         artifact = build_artifact(spec.name, spec.title, spec.tables(result), result)
         if use_store:
             store_result(key, artifact)
+            journal = journal_for_scope(key)
+            if journal is not None:
+                # The artifact is durable now; the item-level
+                # checkpoints behind it have served their purpose.
+                journal.discard()
         report.outcomes.append(
             ExperimentOutcome(name, spec.title, key, status, artifact)
         )

@@ -15,9 +15,9 @@ controlled by the ``REPRO_RESULT_CACHE_DIR`` environment variable
 (unset means "no disk layer" for library use; the CLI enables the
 per-user default via :func:`enable_shared_result_store`; ``none``/
 ``off``/``0``/empty disables it everywhere).  Disk entries are written
-atomically (write-then-rename), and corrupt or truncated entries are
-treated as misses so a damaged cache can only cost a recompute, never
-a wrong answer.
+atomically (write-then-rename); corrupt or truncated entries are
+quarantined as ``*.corrupt`` evidence and treated as misses, so a
+damaged cache can only cost a recompute, never a wrong answer.
 """
 
 from __future__ import annotations
@@ -54,6 +54,7 @@ _STATS = {
     "disk_hits": 0,
     "disk_misses": 0,
     "disk_stores": 0,
+    "quarantined": 0,
 }
 
 
@@ -233,8 +234,19 @@ def _load_from_disk(key: str, experiment: Optional[str]) -> Optional[Dict[str, A
     try:
         with open(path, "r", encoding="utf-8") as stream:
             entry = json.load(stream)
-    except (OSError, ValueError):
-        return None  # Truncated or corrupt entry: fall back to recompute.
+    except OSError:
+        return None  # Unreadable (permissions, transient IO): a plain miss.
+    except ValueError:
+        # Damaged bytes (torn write, truncation): quarantine the entry
+        # as ``*.corrupt`` evidence and recompute.  Entries below that
+        # merely mismatch (key prefix collision, schema change) are
+        # valid files from other provenance and stay untouched.
+        from repro.exec.journal import quarantine_entry
+
+        if quarantine_entry(path) is not None:
+            with _LOCK:
+                _STATS["quarantined"] += 1
+        return None
     if not isinstance(entry, dict) or entry.get("key") != key:
         return None
     artifact = entry.get("artifact")

@@ -77,6 +77,7 @@ _TRACE_CACHE_STATS = {
     "disk_hits": 0,
     "disk_misses": 0,
     "disk_stores": 0,
+    "quarantined": 0,
 }
 
 #: Callbacks run by :func:`clear_trace_cache` so higher layers with
@@ -169,7 +170,8 @@ def trace_on_disk(spec: WorkloadSpec, instructions: int, seed: int = 0) -> bool:
         with np.load(path) as archive:
             fingerprint = str(archive["fingerprint"])
     except Exception:
-        return False  # Corrupt entry: treat as missing.
+        _quarantine_trace_entry(path)  # Unreadable archive: preserve it.
+        return False
     return fingerprint == _program_fingerprint(build_workload(spec).program)
 
 
@@ -309,11 +311,32 @@ def _load_trace_from_disk(
             )
             fingerprint = str(archive["fingerprint"])
     except Exception:
-        return None  # Corrupt or stale entry: fall back to regeneration.
+        # An unreadable archive (torn write, truncation, disk damage)
+        # is evidence of a fault: quarantine it as ``*.corrupt`` and
+        # regenerate.  A *stale* entry below is not quarantined -- it
+        # is a valid archive from older code, simply superseded.
+        _quarantine_trace_entry(path)
+        return None
     program = build_workload(spec).program
     if fingerprint != _program_fingerprint(program):
         return None  # Synthesis/layout changed; the cached columns are stale.
     return Trace.from_columns(program, *columns, name=spec.name)
+
+
+def _quarantine_trace_entry(path: str) -> None:
+    """Rename an unreadable ``.npz`` to ``*.corrupt`` and count it.
+
+    The rename itself is shared with the sweep journal and the result
+    store (:func:`repro.exec.journal.quarantine_entry`, imported lazily
+    to keep this layer importable on its own); the counter lives in
+    this cache's stats so ``--verbose`` reporting attributes the damage
+    to the right store.
+    """
+    from repro.exec.journal import quarantine_entry
+
+    if quarantine_entry(path) is not None:
+        with _TRACE_CACHE_LOCK:
+            _TRACE_CACHE_STATS["quarantined"] += 1
 
 
 def _store_trace_to_disk(trace: Trace, key: Tuple[str, int, int]) -> bool:

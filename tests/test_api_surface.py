@@ -45,6 +45,11 @@ class TestPublicSurface:
             "REPRO_PARALLEL",
             "REPRO_PROCESSES",
             "REPRO_INSTRUCTIONS",
+            "REPRO_EXECUTOR",
+            "REPRO_RETRIES",
+            "REPRO_ITEM_TIMEOUT",
+            "REPRO_RETRY_DELAY",
+            "REPRO_FAULT_PLAN",
         )
 
     def test_runtime_config_fields_are_pinned(self):
@@ -58,6 +63,11 @@ class TestPublicSurface:
             ("parallel", False),
             ("processes", None),
             ("instructions", 150_000),
+            ("executor", "auto"),
+            ("retries", 2),
+            ("item_timeout", None),
+            ("retry_delay", 0.05),
+            ("fault_plan", None),
         ]
 
     def test_session_method_signatures(self):
@@ -93,7 +103,9 @@ class TestPublicSurface:
             "parallel",
             "processes",
             "prime",
+            "journal_scope",
         ]
+        assert parameters(Session.map_report) == parameters(Session.map)
         assert parameters(Session.trace) == [
             "self",
             "workload",

@@ -9,9 +9,9 @@ from repro.frontend import (
     ICacheConfig,
     InstructionCache,
     simulate_btb,
-    simulate_frontend,
     simulate_icache,
 )
+from repro.frontend.simulation import simulate_frontend
 from repro.trace import CodeSection
 
 

@@ -146,6 +146,73 @@ class TestPrecedence:
         monkeypatch.setenv(rc.INSTRUCTIONS_VARIABLE, "0")
         assert rc.RuntimeConfig.from_environment().instructions == 0
 
+    def test_executor(self, monkeypatch):
+        monkeypatch.delenv(rc.EXECUTOR_VARIABLE, raising=False)
+        assert rc.RuntimeConfig.from_environment().executor == "auto"
+        monkeypatch.setenv(rc.EXECUTOR_VARIABLE, "processes")
+        assert rc.RuntimeConfig.from_environment().executor == "processes"
+        # Explicit beats the environment; names pass through unresolved
+        # (entry points are validated at sweep time, not here).
+        config = rc.RuntimeConfig.from_environment(executor="serial")
+        assert config.executor == "serial"
+        assert rc.RuntimeConfig(executor="  ").executor == "auto"
+
+    def test_retries(self, monkeypatch):
+        monkeypatch.delenv(rc.RETRIES_VARIABLE, raising=False)
+        assert rc.RuntimeConfig.from_environment().retries == rc.DEFAULT_RETRIES
+        monkeypatch.setenv(rc.RETRIES_VARIABLE, "5")
+        assert rc.RuntimeConfig.from_environment().retries == 5
+        assert rc.RuntimeConfig.from_environment(retries=0).retries == 0
+        # Garbage or negative environment values fall back to the
+        # default; an explicit negative raises.
+        monkeypatch.setenv(rc.RETRIES_VARIABLE, "lots")
+        assert rc.RuntimeConfig.from_environment().retries == rc.DEFAULT_RETRIES
+        monkeypatch.setenv(rc.RETRIES_VARIABLE, "-1")
+        assert rc.RuntimeConfig.from_environment().retries == rc.DEFAULT_RETRIES
+        with pytest.raises(ValueError):
+            rc.RuntimeConfig(retries=-1)
+
+    def test_item_timeout(self, monkeypatch):
+        monkeypatch.delenv(rc.ITEM_TIMEOUT_VARIABLE, raising=False)
+        assert rc.RuntimeConfig.from_environment().item_timeout is None
+        monkeypatch.setenv(rc.ITEM_TIMEOUT_VARIABLE, "2.5")
+        assert rc.RuntimeConfig.from_environment().item_timeout == 2.5
+        assert rc.RuntimeConfig.from_environment(item_timeout=1).item_timeout == 1.0
+        # Zero or negative means "no timeout", matching the unset state.
+        assert rc.RuntimeConfig(item_timeout=0).item_timeout is None
+        assert rc.RuntimeConfig(item_timeout=-3).item_timeout is None
+
+    def test_retry_delay(self, monkeypatch):
+        monkeypatch.delenv(rc.RETRY_DELAY_VARIABLE, raising=False)
+        assert (
+            rc.RuntimeConfig.from_environment().retry_delay == rc.DEFAULT_RETRY_DELAY
+        )
+        monkeypatch.setenv(rc.RETRY_DELAY_VARIABLE, "0.2")
+        assert rc.RuntimeConfig.from_environment().retry_delay == 0.2
+        assert rc.RuntimeConfig.from_environment(retry_delay=0).retry_delay == 0.0
+        # Negative delays clamp to zero rather than erroring.
+        assert rc.RuntimeConfig(retry_delay=-1.0).retry_delay == 0.0
+
+    def test_fault_plan(self, monkeypatch):
+        monkeypatch.delenv(rc.FAULT_PLAN_VARIABLE, raising=False)
+        assert rc.RuntimeConfig.from_environment().fault_plan is None
+        document = '{"faults": [{"kind": "raise", "index": 0}]}'
+        monkeypatch.setenv(rc.FAULT_PLAN_VARIABLE, document)
+        assert rc.RuntimeConfig.from_environment().fault_plan == document
+        assert rc.RuntimeConfig.from_environment(fault_plan=None).fault_plan is None
+
+    def test_execution_knobs_stay_out_of_semantic(self):
+        config = rc.RuntimeConfig(
+            executor="processes",
+            retries=7,
+            item_timeout=3.0,
+            retry_delay=0.2,
+            fault_plan='{"faults": []}',
+        )
+        # Execution policy can never change the numbers, so it can
+        # never change a result key either.
+        assert config.semantic() == rc.RuntimeConfig().semantic()
+
 
 class TestConfigBehaviour:
     def test_replace_normalizes_cache_dirs_and_engine(self):
@@ -177,6 +244,11 @@ class TestConfigBehaviour:
             "parallel",
             "processes",
             "instructions",
+            "executor",
+            "retries",
+            "item_timeout",
+            "retry_delay",
+            "fault_plan",
         }
 
 

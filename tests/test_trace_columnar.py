@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.common import (
+from repro.workloads.trace_cache import (
     clear_trace_cache,
     trace_cache_info,
     workload_trace,
