@@ -14,8 +14,11 @@ comparable across commits.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro.api.frame import ResultFrame
 from repro.frontend.configs import BASELINE_FRONTEND
 from repro.frontend.simulation import simulate_frontend
 from repro.power import evaluate_cmp_energy
@@ -146,3 +149,29 @@ def test_section_v_stack(benchmark, instructions):
     results = benchmark(stack)
     assert len(results) == len(STANDARD_CMP_CONFIGS)
     assert all(result.energy_j > 0 for result in results)
+
+
+def test_frame_payload_round_trip(benchmark):
+    """Serialize and re-validate a stored ResultFrame payload.
+
+    The result store persists every experiment payload as versioned
+    columnar JSON; this times the full round trip -- payload build,
+    JSON encode, decode, schema validation -- on a per-workload frame
+    scaled to ~8k rows (two orders above the largest real experiment,
+    so store-layer regressions are visible well before they matter).
+    """
+    rows = [
+        (f"workload-{index % 41}", metric, 1.0 + index / 7, 2.0 + index / 11)
+        for index in range(2_000)
+        for metric in ("execution time", "power", "energy", "energy-delay")
+    ]
+    frame = ResultFrame.from_rows(
+        ("workload", "metric", "baseline", "tailored"), rows
+    )
+
+    def round_trip():
+        return ResultFrame.from_payload(json.loads(json.dumps(frame.to_payload())))
+
+    result = benchmark(round_trip)
+    assert result.columns == frame.columns
+    assert len(result.rows()) == len(rows)

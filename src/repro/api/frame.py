@@ -24,6 +24,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+#: Version of the columnar frame payload layout (``to_payload`` /
+#: ``from_payload``).  Folded into the result-store key versions so a
+#: layout change can never deserialize against stale disk entries.
+FRAME_SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class ResultFrame:
@@ -161,6 +166,50 @@ class ResultFrame:
             if all(row[pos] == value for pos, value in positions.items())
         )
         return ResultFrame(columns=self.columns, data=kept, title=self.title)
+
+    # -- serialization -----------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The versioned columnar JSON form stored in artifacts.
+
+        Cells must already be JSON-serializable (the artifact builder
+        runs them through :func:`repro.results.artifacts.to_jsonable`
+        first); the layout is ``{"schema", "columns", "rows"}`` plus an
+        optional ``"title"``.
+        """
+        payload: Dict[str, Any] = {
+            "schema": FRAME_SCHEMA_VERSION,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.data],
+        }
+        if self.title is not None:
+            payload["title"] = self.title
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ResultFrame":
+        """Rebuild a frame from its stored columnar form.
+
+        Raises :class:`ValueError` on any malformed payload (unknown
+        schema version, missing keys, ragged rows) so the result
+        store's corrupt-entry quarantine catches damaged disk entries.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"frame payload must be a mapping, got {type(payload).__name__}")
+        if payload.get("schema") != FRAME_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported frame schema {payload.get('schema')!r} "
+                f"(expected {FRAME_SCHEMA_VERSION})"
+            )
+        columns = payload.get("columns")
+        rows = payload.get("rows")
+        if not isinstance(columns, list) or not all(
+            isinstance(name, str) for name in columns
+        ):
+            raise ValueError("frame payload 'columns' must be a list of strings")
+        if not isinstance(rows, list) or not all(isinstance(row, list) for row in rows):
+            raise ValueError("frame payload 'rows' must be a list of lists")
+        return cls.from_rows(columns, rows, title=payload.get("title"))
 
     # -- emission ----------------------------------------------------
 

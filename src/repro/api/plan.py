@@ -244,12 +244,53 @@ class ExperimentPlan(Plan):
             )
 
     def frames(self) -> Dict[str, ResultFrame]:
-        """Execute and return one frame per selected experiment."""
+        """Execute and return one *rendered* frame per experiment.
+
+        These are the table-block frames (what the manifest CSV emits);
+        the canonical columnar payloads live in :meth:`stored_frames`.
+        """
         report = self.report()
         return {
             outcome.name: ResultFrame.from_artifact(outcome.artifact)
             for outcome in report.outcomes
         }
+
+    def stored_frames(self) -> Dict[str, Dict[str, ResultFrame]]:
+        """Execute and return every experiment's stored payload frames.
+
+        One ``{frame name: ResultFrame}`` dict per experiment, straight
+        from the versioned columnar payloads the store persists -- no
+        per-experiment glue, and every frame supports
+        ``select()``/``column()`` slicing.
+        """
+        report = self.report()
+        return {
+            outcome.name: outcome.stored_frames() for outcome in report.outcomes
+        }
+
+    def frame(
+        self,
+        experiment: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> ResultFrame:
+        """Execute and return one stored payload frame.
+
+        ``experiment`` defaults to the plan's only selection (a
+        multi-experiment plan requires it); ``name`` defaults to the
+        experiment's primary frame as declared in its artifact.
+        """
+        report = self.report()
+        if experiment is None:
+            if len(report.outcomes) != 1:
+                known = ", ".join(outcome.name for outcome in report.outcomes)
+                raise ValueError(
+                    f"plan selects {len(report.outcomes)} experiments ({known}); "
+                    "pass experiment= to pick one"
+                )
+            outcome = report.outcomes[0]
+        else:
+            outcome = report.outcome(experiment)
+        return outcome.stored_frame(name)
 
     def execute(self) -> ResultFrame:
         """Execute and return the frame of the selection.

@@ -16,7 +16,7 @@ Two consumption modes coexist:
 * **Legacy mode** (no active config): the ``current_*`` accessors fall
   back to reading the environment on every call, preserving the
   historical behaviour of the module-level entry points
-  (``workload_trace``, ``run_sweep``, ...) bit for bit.
+  (``workload_trace`` and friends) bit for bit.
 
 The module deliberately imports nothing from the rest of the package,
 so every layer -- down to :mod:`repro.trace.compiler` -- can consult it
@@ -75,6 +75,12 @@ RETRY_DELAY_VARIABLE = "REPRO_RETRY_DELAY"
 #: (inline JSON or a path to a JSON file; see :mod:`repro.exec.faults`).
 FAULT_PLAN_VARIABLE = "REPRO_FAULT_PLAN"
 
+#: Environment variable naming a cache namespace: a single path
+#: component appended to both disk-cache directories (trace cache and
+#: result store), so concurrent sessions pointed at the same roots
+#: cannot collide (unset/blank: no namespace).
+CACHE_NAMESPACE_VARIABLE = "REPRO_CACHE_NAMESPACE"
+
 #: Every environment variable the runtime honours, in documentation
 #: order.  The API-surface test pins this tuple: growing it is an API
 #: change.
@@ -90,6 +96,7 @@ ENVIRONMENT_VARIABLES: Tuple[str, ...] = (
     ITEM_TIMEOUT_VARIABLE,
     RETRY_DELAY_VARIABLE,
     FAULT_PLAN_VARIABLE,
+    CACHE_NAMESPACE_VARIABLE,
 )
 
 #: Default dynamic trace length used by the profiling layers.  Scaled
@@ -183,6 +190,43 @@ def normalize_cache_dir(value: Optional[str]) -> Optional[str]:
     return value
 
 
+def normalize_cache_namespace(
+    value: Optional[str], strict: bool = False
+) -> Optional[str]:
+    """Map a cache-namespace setting to a path component or ``None``.
+
+    ``None`` and blank mean "no namespace".  A namespace must be a
+    single path component -- separators and the ``.``/``..`` traversal
+    spellings are rejected, because the namespace is joined under the
+    cache roots and must not escape them.  Explicit arguments
+    (``strict``) raise on invalid namespaces; environment values stay
+    lenient (an invalid spelling means "no namespace").
+    """
+    if value is None:
+        return None
+    namespace = str(value).strip()
+    if not namespace:
+        return None
+    if (
+        namespace in (".", "..")
+        or any(sep in namespace for sep in ("/", "\\", os.sep))
+    ):
+        if strict:
+            raise ValueError(
+                f"invalid cache namespace {value!r}: must be a single "
+                "path component (no separators, not '.' or '..')"
+            )
+        return None
+    return namespace
+
+
+def _namespaced(directory: Optional[str], namespace: Optional[str]) -> Optional[str]:
+    """Join the cache namespace under an enabled cache directory."""
+    if directory is None or namespace is None:
+        return directory
+    return os.path.join(directory, namespace)
+
+
 def _resolve_engine(value: str, strict: bool = False) -> str:
     """Normalize a trace-engine spelling.
 
@@ -265,6 +309,9 @@ class RuntimeConfig:
     #: Deterministic fault-injection plan: inline JSON or a file path
     #: (``None``: no injection).  Parsed by :mod:`repro.exec.faults`.
     fault_plan: Optional[str] = None
+    #: Cache namespace: one path component appended to both disk-cache
+    #: directories, isolating concurrent sessions (``None``: none).
+    cache_namespace: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -287,6 +334,11 @@ class RuntimeConfig:
             self, "item_timeout", None if timeout is None else float(timeout)
         )
         object.__setattr__(self, "retry_delay", max(0.0, float(self.retry_delay)))
+        object.__setattr__(
+            self,
+            "cache_namespace",
+            normalize_cache_namespace(self.cache_namespace, strict=True),
+        )
 
     @classmethod
     def from_environment(
@@ -303,6 +355,7 @@ class RuntimeConfig:
         item_timeout: Union[float, None, Any] = _UNSET,
         retry_delay: Union[float, Any] = _UNSET,
         fault_plan: Union[str, None, Any] = _UNSET,
+        cache_namespace: Union[str, None, Any] = _UNSET,
     ) -> "RuntimeConfig":
         """Resolve a config with explicit > environment > default.
 
@@ -362,6 +415,10 @@ class RuntimeConfig:
             resolved_retry_delay = float(retry_delay)
         if fault_plan is _UNSET:
             fault_plan = read_environment(FAULT_PLAN_VARIABLE) or None
+        if cache_namespace is _UNSET:
+            cache_namespace = normalize_cache_namespace(
+                read_environment(CACHE_NAMESPACE_VARIABLE)
+            )
         return cls(
             trace_engine=resolved_engine,
             trace_cache_dir=normalize_cache_dir(trace_cache_dir),
@@ -374,6 +431,7 @@ class RuntimeConfig:
             item_timeout=item_timeout,
             retry_delay=resolved_retry_delay,
             fault_plan=fault_plan,
+            cache_namespace=cache_namespace,
         )
 
     def replace(self, **changes: Any) -> "RuntimeConfig":
@@ -479,13 +537,16 @@ def worker_environment(config: RuntimeConfig) -> Iterator[None]:
     one session's values permanently.
     """
     with _WORKER_ENVIRONMENT_LOCK:
+        trace_cache_dir = _namespaced(config.trace_cache_dir, config.cache_namespace)
         values = {
             TRACE_ENGINE_VARIABLE: config.trace_engine,
             TRACE_CACHE_DIR_VARIABLE: (
-                config.trace_cache_dir
-                if config.trace_cache_dir is not None
-                else "none"
+                trace_cache_dir if trace_cache_dir is not None else "none"
             ),
+            # The exported directory is already namespaced; blank out the
+            # namespace variable so spawn-platform workers do not join it
+            # a second time.
+            CACHE_NAMESPACE_VARIABLE: "",
         }
         previous = {name: os.environ.get(name) for name in values}
         os.environ.update(values)
@@ -507,20 +568,34 @@ def current_trace_engine() -> str:
     return _resolve_engine(read_environment(TRACE_ENGINE_VARIABLE) or "")
 
 
-def current_trace_cache_dir() -> Optional[str]:
-    """Active trace-cache directory, or ``None`` when disabled."""
+def current_cache_namespace() -> Optional[str]:
+    """Active cache namespace, or ``None`` when unset."""
     active = _ACTIVE.get()
     if active is not None:
-        return active.trace_cache_dir
-    return normalize_cache_dir(read_environment(TRACE_CACHE_DIR_VARIABLE))
+        return active.cache_namespace
+    return normalize_cache_namespace(read_environment(CACHE_NAMESPACE_VARIABLE))
+
+
+def current_trace_cache_dir() -> Optional[str]:
+    """Active trace-cache directory (namespaced), or ``None`` when disabled."""
+    active = _ACTIVE.get()
+    if active is not None:
+        return _namespaced(active.trace_cache_dir, active.cache_namespace)
+    return _namespaced(
+        normalize_cache_dir(read_environment(TRACE_CACHE_DIR_VARIABLE)),
+        current_cache_namespace(),
+    )
 
 
 def current_result_cache_dir() -> Optional[str]:
-    """Active result-store directory, or ``None`` when disabled."""
+    """Active result-store directory (namespaced), or ``None`` when disabled."""
     active = _ACTIVE.get()
     if active is not None:
-        return active.result_cache_dir
-    return normalize_cache_dir(read_environment(RESULT_CACHE_DIR_VARIABLE))
+        return _namespaced(active.result_cache_dir, active.cache_namespace)
+    return _namespaced(
+        normalize_cache_dir(read_environment(RESULT_CACHE_DIR_VARIABLE)),
+        current_cache_namespace(),
+    )
 
 
 def semantic_runtime() -> Dict[str, Any]:

@@ -20,7 +20,7 @@ through: serial by default, fanned out over the supervised executors of
 :mod:`repro.exec` when the session's config (or the caller) says so --
 with per-item retries, timeouts, checkpoint journaling, and structured
 failure reports -- and the shared disk trace cache primed first exactly
-like the historical ``run_sweep``.  While a session executes, its
+like the historical module-level sweep.  While a session executes, its
 config is *activated*
 (see :func:`repro.api.runtime_config.activated`) so every layer below
 -- trace engine selection, cache directories, the result store -- sees
@@ -29,8 +29,7 @@ one consistent snapshot instead of re-reading the environment.
 The **default session** (:func:`default_session`) is special: it
 follows the process environment on every access instead of freezing a
 snapshot, which is exactly the historical behaviour of the module-level
-entry points (``workload_trace``, ``run_sweep``, ``simulate_frontend``)
-that now delegate to it.
+entry points (now removed) that used to delegate to it.
 """
 
 from __future__ import annotations
@@ -570,7 +569,7 @@ _CURRENT: "contextvars.ContextVar[Optional[Session]]" = contextvars.ContextVar(
 def default_session() -> Session:
     """The process-wide environment-following session.
 
-    Backs every deprecation shim (``run_sweep``, ``workload_trace``
+    Backs every environment-following entry point (``workload_trace``
     used as a plain function, the CLI fallbacks): it resolves its
     config from the live environment on each access, which is exactly
     the pre-Session behaviour.

@@ -13,15 +13,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    PivotView,
     experiment_instructions,
+    fixed,
     mean,
     normalize_to_reference,
     render_blocks,
 )
 from repro.power.cmp_power import evaluate_cmp_energy
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
 from repro.uarch.sweep import SweepScenario, get_scenario, standard_scenarios
@@ -37,18 +42,61 @@ DEFAULT_SWEEP_WORKLOADS = ("CoEVP", "CoMD", "fma3d", "FT", "h264ref", "gobmk")
 
 
 @dataclass
-class CmpSweepResult:
-    """Normalized metrics for every scenario grid point and workload."""
+class CmpSweepResult(FrameResult):
+    """Normalized metrics for every scenario grid point and workload.
+
+    Frames:
+
+    ``summary`` (primary)
+        One row per (scenario, metric, cmp): workload-mean normalized
+        value.
+    ``workloads``
+        One row per (scenario, workload, metric, cmp): normalized
+        value.
+    """
 
     instructions: int
     scenarios: List[SweepScenario] = field(default_factory=list)
     workloads: List[str] = field(default_factory=list)
-    #: scenario name -> workload -> metric -> cmp name -> normalized value
-    per_workload: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = field(
-        default_factory=dict
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "summary"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.scalar("scenarios"),
+        PayloadField.scalar("workloads"),
+        PayloadField.pivot(
+            "per_workload",
+            "workloads",
+            [["scenario"], ["workload"], ["metric"], ["cmp"]],
+            value="value",
+        ),
+        PayloadField.pivot(
+            "summary",
+            "summary",
+            [["scenario"], ["metric"], ["cmp"]],
+            value="value",
+        ),
     )
-    #: scenario name -> metric -> cmp name -> workload-mean normalized value
-    summary: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def views(self) -> Sequence[PivotView]:
+        return tuple(
+            PivotView(
+                frame="summary",
+                index=(("cmp", "configuration", str),),
+                key=("metric",),
+                value="value",
+                header=lambda key: str(key[0]),
+                cell=fixed(3),
+                filter=(("scenario", scenario.name),),
+                title=(
+                    f"scenario {scenario.name}: {scenario.description}\n"
+                    f"(workload-mean, normalized to {scenario.reference.name})"
+                ),
+                name=scenario.name,
+            )
+            for scenario in self.scenarios
+        )
 
 
 def _sweep_workload(args) -> Dict[str, Dict[str, float]]:
@@ -101,11 +149,8 @@ def run_cmpsweep(
         workloads = DEFAULT_SWEEP_WORKLOADS
     specs = session.workloads(suites=suites, names=workloads)
 
-    result = CmpSweepResult(
-        instructions=instructions,
-        scenarios=scenarios,
-        workloads=[spec.name for spec in specs],
-    )
+    summary_rows: List[tuple] = []
+    workload_rows: List[tuple] = []
     for scenario in scenarios:
         _, rows = session.workload_sweep(
             _sweep_workload,
@@ -117,48 +162,46 @@ def run_cmpsweep(
         per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
         for spec, normalized in zip(specs, rows):
             per_workload[spec.name] = normalized
-        result.per_workload[scenario.name] = per_workload
-        result.summary[scenario.name] = {
-            metric: {
-                cmp.name: mean(
+            for metric in SWEEP_METRICS:
+                for cmp in scenario.cmps:
+                    workload_rows.append(
+                        (
+                            scenario.name,
+                            spec.name,
+                            metric,
+                            cmp.name,
+                            normalized[metric][cmp.name],
+                        )
+                    )
+        for metric in SWEEP_METRICS:
+            for cmp in scenario.cmps:
+                value = mean(
                     per_workload[spec.name][metric][cmp.name] for spec in specs
                 )
-                for cmp in scenario.cmps
-            }
-            for metric in SWEEP_METRICS
-        }
-    return result
+                summary_rows.append((scenario.name, metric, cmp.name, value))
+    return CmpSweepResult(
+        instructions=instructions,
+        scenarios=scenarios,
+        workloads=[spec.name for spec in specs],
+        frames={
+            "summary": ResultFrame.from_rows(
+                ["scenario", "metric", "cmp", "value"], summary_rows
+            ),
+            "workloads": ResultFrame.from_rows(
+                ["scenario", "workload", "metric", "cmp", "value"], workload_rows
+            ),
+        },
+    )
 
 
 def tables_cmpsweep(result: CmpSweepResult) -> List[TableBlock]:
     """One normalized time/power/energy table block per scenario."""
-    blocks: List[TableBlock] = []
-    for scenario in result.scenarios:
-        headers = ["configuration"] + list(SWEEP_METRICS)
-        rows: List[List[str]] = []
-        summary = result.summary[scenario.name]
-        for cmp in scenario.cmps:
-            rows.append(
-                [cmp.name]
-                + [f"{summary[metric][cmp.name]:.3f}" for metric in SWEEP_METRICS]
-            )
-        blocks.append(
-            block(
-                headers,
-                rows,
-                title=(
-                    f"scenario {scenario.name}: {scenario.description}\n"
-                    f"(workload-mean, normalized to {scenario.reference.name})"
-                ),
-                name=scenario.name,
-            )
-        )
-    return blocks
+    return result.tables()
 
 
 def format_cmpsweep(result: CmpSweepResult) -> str:
     """Render one normalized time/power/energy table per scenario."""
-    return render_blocks(tables_cmpsweep(result))
+    return render_blocks(result.tables())
 
 
 def _constants() -> Dict[str, object]:

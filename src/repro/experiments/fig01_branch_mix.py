@@ -6,15 +6,22 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.branch_mix import BranchMix, analyze_branch_mix
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    RowView,
     experiment_instructions,
     default_workload_names,
     mean,
+    percent,
     render_blocks,
+    section_cell,
     sections_for,
+    suite_cell,
 )
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import FIGURE1_CATEGORIES, CodeSection
 from repro.workloads.suites import Suite
@@ -22,16 +29,53 @@ from repro.workloads.trace_cache import workload_trace
 
 
 @dataclass
-class Fig01Result:
-    """Per-suite, per-section branch category shares (of all instructions)."""
+class Fig01Result(FrameResult):
+    """Per-suite, per-section branch category shares (of all instructions).
+
+    Frames:
+
+    ``sections`` (primary)
+        One row per (suite, section): the total branch fraction plus
+        one column per Figure 1 category.
+    ``workloads``
+        One row per workload: its total branch fraction.
+    """
 
     instructions: int
-    #: suite -> section -> category -> fraction of dynamic instructions
-    categories: Dict[Suite, Dict[CodeSection, Dict[str, float]]] = field(default_factory=dict)
-    #: suite -> section -> total branch fraction
-    branch_fraction: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
-    #: per-workload total branch fraction (for per-benchmark inspection)
-    per_workload: Dict[str, float] = field(default_factory=dict)
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "sections"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.pivot(
+            "categories",
+            "sections",
+            [["suite"], ["section"]],
+            columns=FIGURE1_CATEGORIES,
+        ),
+        PayloadField.pivot(
+            "branch_fraction",
+            "sections",
+            [["suite"], ["section"]],
+            value="branch_fraction",
+        ),
+        PayloadField.pivot(
+            "per_workload", "workloads", [["workload"]], value="branch_fraction"
+        ),
+    )
+    VIEWS = (
+        RowView(
+            "sections",
+            (
+                ("suite", "suite", suite_cell),
+                ("section", "section", section_cell),
+                ("branch_fraction", "branches%", percent(1)),
+            )
+            + tuple(
+                (category, category, percent(2)) for category in FIGURE1_CATEGORIES
+            ),
+        ),
+    )
 
 
 def _workload_mix(args) -> Dict[CodeSection, BranchMix]:
@@ -56,47 +100,48 @@ def run_fig01(
     ``run_parallel`` overrides the session's parallelism setting.
     """
     instructions = experiment_instructions(instructions)
-    result = Fig01Result(instructions=instructions)
+    section_rows: List[tuple] = []
+    workload_rows: List[tuple] = []
     sweep = current_session().suite_sweep(
         _workload_mix, (instructions,), suites, run_parallel, processes
     )
     for suite, specs, rows in sweep:
-        per_section_mixes: Dict[CodeSection, List] = {}
+        per_section_mixes: Dict[CodeSection, List[BranchMix]] = {}
         for spec, mixes in zip(specs, rows):
             for section, mix in mixes.items():
                 per_section_mixes.setdefault(section, []).append(mix)
                 if section is CodeSection.TOTAL:
-                    result.per_workload[spec.name] = mix.branch_fraction
-        result.categories[suite] = {}
-        result.branch_fraction[suite] = {}
+                    workload_rows.append((spec.name, mix.branch_fraction))
         for section, mixes in per_section_mixes.items():
-            result.branch_fraction[suite][section] = mean(
-                m.branch_fraction for m in mixes
+            section_rows.append(
+                (suite, section, mean(m.branch_fraction for m in mixes))
+                + tuple(
+                    mean(m.category_fractions[category] for m in mixes)
+                    for category in FIGURE1_CATEGORIES
+                )
             )
-            result.categories[suite][section] = {
-                category: mean(m.category_fractions[category] for m in mixes)
-                for category in FIGURE1_CATEGORIES
-            }
-    return result
+    return Fig01Result(
+        instructions=instructions,
+        frames={
+            "sections": ResultFrame.from_rows(
+                ["suite", "section", "branch_fraction", *FIGURE1_CATEGORIES],
+                section_rows,
+            ),
+            "workloads": ResultFrame.from_rows(
+                ["workload", "branch_fraction"], workload_rows
+            ),
+        },
+    )
 
 
 def tables_fig01(result: Fig01Result) -> List[TableBlock]:
     """Figure 1 stacked-bar data as table blocks (values in %)."""
-    headers = ["suite", "section", "branches%"] + list(FIGURE1_CATEGORIES)
-    rows = []
-    for suite, sections in result.categories.items():
-        for section, categories in sections.items():
-            rows.append(
-                [suite.label, section.label,
-                 f"{100 * result.branch_fraction[suite][section]:.1f}"]
-                + [f"{100 * categories[c]:.2f}" for c in FIGURE1_CATEGORIES]
-            )
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_fig01(result: Fig01Result) -> str:
     """Render the Figure 1 stacked-bar data as a table (values in %)."""
-    return render_blocks(tables_fig01(result))
+    return render_blocks(result.tables())
 
 
 SPEC = ExperimentSpec(

@@ -10,15 +10,22 @@ from repro.analysis.branch_bias import (
     BiasDistribution,
     analyze_branch_bias,
 )
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    RowView,
     experiment_instructions,
     default_workload_names,
     mean,
+    percent,
     render_blocks,
+    section_cell,
     sections_for,
+    suite_cell,
 )
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import Suite
@@ -26,12 +33,40 @@ from repro.workloads.trace_cache import workload_trace
 
 
 @dataclass
-class Fig02Result:
-    """Per-suite, per-section taken-percentage bucket shares."""
+class Fig02Result(FrameResult):
+    """Per-suite, per-section taken-percentage bucket shares.
+
+    Frames:
+
+    ``sections`` (primary)
+        One row per (suite, section): one column per bias bucket plus
+        the derived ``strongly biased`` share (0-10% or >90% buckets).
+    """
 
     instructions: int
-    #: suite -> section -> bucket label -> fraction of dynamic conditionals
-    buckets: Dict[Suite, Dict[CodeSection, Dict[str, float]]] = field(default_factory=dict)
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "sections"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.pivot(
+            "buckets",
+            "sections",
+            [["suite"], ["section"]],
+            columns=BIAS_BUCKET_LABELS,
+        ),
+    )
+    VIEWS = (
+        RowView(
+            "sections",
+            (
+                ("suite", "suite", suite_cell),
+                ("section", "section", section_cell),
+            )
+            + tuple((label, label, percent(1)) for label in BIAS_BUCKET_LABELS)
+            + (("strongly biased", "strongly biased", percent(1)),),
+        ),
+    )
 
     def strongly_biased(self, suite: Suite, section: CodeSection) -> float:
         """Share of dynamic conditionals in the 0-10% or >90% buckets."""
@@ -60,41 +95,44 @@ def run_fig02(
     engine; ``run_parallel`` overrides the session's parallelism.
     """
     instructions = experiment_instructions(instructions)
-    result = Fig02Result(instructions=instructions)
+    section_rows: List[tuple] = []
     sweep = current_session().suite_sweep(
         _workload_bias, (instructions,), suites, run_parallel, processes
     )
     for suite, specs, rows in sweep:
-        per_section: Dict[CodeSection, List] = {}
+        per_section: Dict[CodeSection, List[BiasDistribution]] = {}
         for spec, distributions in zip(specs, rows):
             for section, distribution in distributions.items():
                 per_section.setdefault(section, []).append(distribution)
-        result.buckets[suite] = {}
         for section, distributions in per_section.items():
-            result.buckets[suite][section] = {
+            buckets = {
                 label: mean(d.bucket_fractions[label] for d in distributions)
                 for label in BIAS_BUCKET_LABELS
             }
-    return result
+            section_rows.append(
+                (suite, section)
+                + tuple(buckets[label] for label in BIAS_BUCKET_LABELS)
+                + (buckets["0-10%"] + buckets[">90%"],)
+            )
+    return Fig02Result(
+        instructions=instructions,
+        frames={
+            "sections": ResultFrame.from_rows(
+                ["suite", "section", *BIAS_BUCKET_LABELS, "strongly biased"],
+                section_rows,
+            ),
+        },
+    )
 
 
 def tables_fig02(result: Fig02Result) -> List[TableBlock]:
     """Figure 2 stacked-bar data as table blocks (values in %)."""
-    headers = ["suite", "section"] + list(BIAS_BUCKET_LABELS) + ["strongly biased"]
-    rows = []
-    for suite, sections in result.buckets.items():
-        for section, buckets in sections.items():
-            rows.append(
-                [suite.label, section.label]
-                + [f"{100 * buckets[label]:.1f}" for label in BIAS_BUCKET_LABELS]
-                + [f"{100 * result.strongly_biased(suite, section):.1f}"]
-            )
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_fig02(result: Fig02Result) -> str:
     """Render the Figure 2 stacked-bar data as a table (values in %)."""
-    return render_blocks(tables_fig02(result))
+    return render_blocks(result.tables())
 
 
 SPEC = ExperimentSpec(

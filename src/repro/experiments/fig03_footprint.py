@@ -6,15 +6,22 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.footprint import FootprintResult, analyze_footprint
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    RowView,
     experiment_instructions,
     default_workload_names,
+    fixed,
     mean,
     render_blocks,
+    section_cell,
     sections_for,
+    suite_cell,
 )
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import Suite
@@ -22,14 +29,50 @@ from repro.workloads.trace_cache import workload_trace
 
 
 @dataclass
-class Fig03Result:
-    """Per-suite, per-section footprints in KB."""
+class Fig03Result(FrameResult):
+    """Per-suite, per-section footprints in KB.
+
+    Frames:
+
+    ``sections`` (primary)
+        One row per (suite, section): static and 99%-dynamic KB.
+    ``workloads``
+        One row per workload: its total-section footprints.
+    """
 
     instructions: int
-    static_kb: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
-    dynamic99_kb: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
-    per_workload_static_kb: Dict[str, float] = field(default_factory=dict)
-    per_workload_dynamic99_kb: Dict[str, float] = field(default_factory=dict)
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "sections"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.pivot(
+            "static_kb", "sections", [["suite"], ["section"]], value="static_kb"
+        ),
+        PayloadField.pivot(
+            "dynamic99_kb", "sections", [["suite"], ["section"]], value="dynamic99_kb"
+        ),
+        PayloadField.pivot(
+            "per_workload_static_kb", "workloads", [["workload"]], value="static_kb"
+        ),
+        PayloadField.pivot(
+            "per_workload_dynamic99_kb",
+            "workloads",
+            [["workload"]],
+            value="dynamic99_kb",
+        ),
+    )
+    VIEWS = (
+        RowView(
+            "sections",
+            (
+                ("suite", "suite", suite_cell),
+                ("section", "section", section_cell),
+                ("static_kb", "static [KB]", fixed(0)),
+                ("dynamic99_kb", "99% dynamic [KB]", fixed(1)),
+            ),
+        ),
+    )
 
 
 def _workload_footprints(args) -> Dict[CodeSection, FootprintResult]:
@@ -53,7 +96,8 @@ def run_fig03(
     engine; ``run_parallel`` overrides the session's parallelism.
     """
     instructions = experiment_instructions(instructions)
-    result = Fig03Result(instructions=instructions)
+    section_rows: List[tuple] = []
+    workload_rows: List[tuple] = []
     sweep = current_session().suite_sweep(
         _workload_footprints, (instructions,), suites, run_parallel, processes
     )
@@ -65,33 +109,34 @@ def run_fig03(
                 static.setdefault(section, []).append(footprint.static_kb)
                 dynamic.setdefault(section, []).append(footprint.dynamic_footprint_kb)
                 if section is CodeSection.TOTAL:
-                    result.per_workload_static_kb[spec.name] = footprint.static_kb
-                    result.per_workload_dynamic99_kb[spec.name] = (
-                        footprint.dynamic_footprint_kb
+                    workload_rows.append(
+                        (spec.name, footprint.static_kb, footprint.dynamic_footprint_kb)
                     )
-        result.static_kb[suite] = {s: mean(v) for s, v in static.items()}
-        result.dynamic99_kb[suite] = {s: mean(v) for s, v in dynamic.items()}
-    return result
+        for section in static:
+            section_rows.append(
+                (suite, section, mean(static[section]), mean(dynamic[section]))
+            )
+    return Fig03Result(
+        instructions=instructions,
+        frames={
+            "sections": ResultFrame.from_rows(
+                ["suite", "section", "static_kb", "dynamic99_kb"], section_rows
+            ),
+            "workloads": ResultFrame.from_rows(
+                ["workload", "static_kb", "dynamic99_kb"], workload_rows
+            ),
+        },
+    )
 
 
 def tables_fig03(result: Fig03Result) -> List[TableBlock]:
     """Figure 3 bars as table blocks (KB)."""
-    headers = ["suite", "section", "static [KB]", "99% dynamic [KB]"]
-    rows = []
-    for suite, sections in result.static_kb.items():
-        for section, static_kb in sections.items():
-            rows.append([
-                suite.label,
-                section.label,
-                f"{static_kb:.0f}",
-                f"{result.dynamic99_kb[suite][section]:.1f}",
-            ])
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_fig03(result: Fig03Result) -> str:
     """Render the Figure 3 bars as a table (KB)."""
-    return render_blocks(tables_fig03(result))
+    return render_blocks(result.tables())
 
 
 SPEC = ExperimentSpec(

@@ -6,15 +6,22 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.basic_blocks import BasicBlockStats, analyze_basic_blocks
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    RowView,
     experiment_instructions,
     default_workload_names,
+    fixed,
     mean,
     render_blocks,
+    section_cell,
     sections_for,
+    suite_cell,
 )
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import Suite
@@ -22,13 +29,51 @@ from repro.workloads.trace_cache import workload_trace
 
 
 @dataclass
-class Fig04Result:
-    """Per-suite, per-section basic-block statistics in bytes."""
+class Fig04Result(FrameResult):
+    """Per-suite, per-section basic-block statistics in bytes.
+
+    Frames:
+
+    ``sections`` (primary)
+        One row per (suite, section): average basic-block length and
+        average distance between taken branches, in bytes.
+    ``workloads``
+        One row per workload: its total-section block length.
+    """
 
     instructions: int
-    block_bytes: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
-    taken_distance_bytes: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
-    per_workload_block_bytes: Dict[str, float] = field(default_factory=dict)
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "sections"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.pivot(
+            "block_bytes", "sections", [["suite"], ["section"]], value="block_bytes"
+        ),
+        PayloadField.pivot(
+            "taken_distance_bytes",
+            "sections",
+            [["suite"], ["section"]],
+            value="taken_distance_bytes",
+        ),
+        PayloadField.pivot(
+            "per_workload_block_bytes",
+            "workloads",
+            [["workload"]],
+            value="block_bytes",
+        ),
+    )
+    VIEWS = (
+        RowView(
+            "sections",
+            (
+                ("suite", "suite", suite_cell),
+                ("section", "section", section_cell),
+                ("block_bytes", "avg BBL [B]", fixed(0)),
+                ("taken_distance_bytes", "avg taken distance [B]", fixed(0)),
+            ),
+        ),
+    )
 
 
 def _workload_blocks(args) -> Dict[CodeSection, BasicBlockStats]:
@@ -53,7 +98,8 @@ def run_fig04(
     engine; ``run_parallel`` overrides the session's parallelism.
     """
     instructions = experiment_instructions(instructions)
-    result = Fig04Result(instructions=instructions)
+    section_rows: List[tuple] = []
+    workload_rows: List[tuple] = []
     sweep = current_session().suite_sweep(
         _workload_blocks, (instructions,), suites, run_parallel, processes
     )
@@ -67,22 +113,36 @@ def run_fig04(
                     stats.average_taken_distance_bytes
                 )
                 if section is CodeSection.TOTAL:
-                    result.per_workload_block_bytes[spec.name] = stats.average_block_bytes
-        result.block_bytes[suite] = {s: mean(v) for s, v in blocks.items()}
-        result.taken_distance_bytes[suite] = {s: mean(v) for s, v in distances.items()}
-    return result
+                    workload_rows.append((spec.name, stats.average_block_bytes))
+        for section in blocks:
+            section_rows.append(
+                (suite, section, mean(blocks[section]), mean(distances[section]))
+            )
+    return Fig04Result(
+        instructions=instructions,
+        frames={
+            "sections": ResultFrame.from_rows(
+                ["suite", "section", "block_bytes", "taken_distance_bytes"],
+                section_rows,
+            ),
+            "workloads": ResultFrame.from_rows(
+                ["workload", "block_bytes"], workload_rows
+            ),
+        },
+    )
 
 
 def hpc_to_desktop_block_ratio(result: Fig04Result) -> float:
     """Ratio of HPC parallel block length to the desktop average."""
+    block_bytes = result.block_bytes
     hpc = mean(
-        result.block_bytes[suite][CodeSection.PARALLEL]
-        for suite in result.block_bytes
-        if suite.is_hpc and CodeSection.PARALLEL in result.block_bytes[suite]
+        block_bytes[suite][CodeSection.PARALLEL]
+        for suite in block_bytes
+        if suite.is_hpc and CodeSection.PARALLEL in block_bytes[suite]
     )
     desktop = mean(
-        result.block_bytes[suite][CodeSection.TOTAL]
-        for suite in result.block_bytes
+        block_bytes[suite][CodeSection.TOTAL]
+        for suite in block_bytes
         if suite.is_desktop
     )
     if desktop == 0:
@@ -92,22 +152,12 @@ def hpc_to_desktop_block_ratio(result: Fig04Result) -> float:
 
 def tables_fig04(result: Fig04Result) -> List[TableBlock]:
     """Figure 4 bars as table blocks (bytes)."""
-    headers = ["suite", "section", "avg BBL [B]", "avg taken distance [B]"]
-    rows = []
-    for suite, sections in result.block_bytes.items():
-        for section, block_bytes in sections.items():
-            rows.append([
-                suite.label,
-                section.label,
-                f"{block_bytes:.0f}",
-                f"{result.taken_distance_bytes[suite][section]:.0f}",
-            ])
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_fig04(result: Fig04Result) -> str:
     """Render the Figure 4 bars as a table (bytes)."""
-    return render_blocks(tables_fig04(result))
+    return render_blocks(result.tables())
 
 
 SPEC = ExperimentSpec(

@@ -5,21 +5,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    RowView,
     experiment_instructions,
     default_workload_names,
+    fixed,
     mean,
     render_blocks,
+    suite_cell,
 )
 from repro.frontend.predictors import make_predictor
 from repro.frontend.predictors.factory import predictor_configurations
 from repro.frontend.simulation import simulate_branch_predictors
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import Suite
 from repro.workloads.trace_cache import workload_trace
+
+#: The nine configuration labels Figure 5 sweeps, in bar order.
+FIGURE5_LABELS = tuple(label for label, _, _, _ in predictor_configurations())
 
 
 def _workload_mpki(args) -> Dict[str, float]:
@@ -44,15 +53,35 @@ def _workload_mpki(args) -> Dict[str, float]:
 
 
 @dataclass
-class Fig05Result:
-    """Branch MPKI per (suite, predictor configuration)."""
+class Fig05Result(FrameResult):
+    """Branch MPKI per (suite, predictor configuration).
+
+    Frames:
+
+    ``suites`` (primary)
+        One row per suite: MPKI per configuration label (suite average).
+    ``workloads``
+        One row per workload: MPKI per configuration label.
+    """
 
     instructions: int
     configurations: List[str] = field(default_factory=list)
-    #: suite -> configuration label -> MPKI (suite average)
-    mpki: Dict[Suite, Dict[str, float]] = field(default_factory=dict)
-    #: benchmark -> configuration label -> MPKI
-    per_workload: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "suites"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.scalar("configurations"),
+        PayloadField.pivot("mpki", "suites", [["suite"]]),
+        PayloadField.pivot("per_workload", "workloads", [["workload"]]),
+    )
+    VIEWS = (
+        RowView(
+            "suites",
+            (("suite", "suite", suite_cell),)
+            + tuple((label, label, fixed(2)) for label in FIGURE5_LABELS),
+        ),
+    )
 
 
 def run_fig05(
@@ -69,44 +98,45 @@ def run_fig05(
     ``run_parallel`` overrides the session's parallelism.
     """
     instructions = experiment_instructions(instructions)
-    configurations = predictor_configurations()
-    result = Fig05Result(
-        instructions=instructions,
-        configurations=[label for label, _, _, _ in configurations],
-    )
+    labels = list(FIGURE5_LABELS)
+    suite_rows: List[tuple] = []
+    workload_rows: List[tuple] = []
     sweep = current_session().suite_sweep(
         _workload_mpki, (instructions, section), suites, run_parallel, processes
     )
     for suite, specs, rows in sweep:
-        per_config: Dict[str, List[float]] = {label: [] for label, _, _, _ in configurations}
+        per_config: Dict[str, List[float]] = {label: [] for label in labels}
         for spec, row in zip(specs, rows):
-            result.per_workload[spec.name] = row
+            workload_rows.append((spec.name,) + tuple(row[label] for label in labels))
             for label, mpki in row.items():
                 per_config[label].append(mpki)
-        result.mpki[suite] = {label: mean(values) for label, values in per_config.items()}
-    return result
+        suite_rows.append(
+            (suite,) + tuple(mean(per_config[label]) for label in labels)
+        )
+    return Fig05Result(
+        instructions=instructions,
+        configurations=labels,
+        frames={
+            "suites": ResultFrame.from_rows(["suite", *labels], suite_rows),
+            "workloads": ResultFrame.from_rows(["workload", *labels], workload_rows),
+        },
+    )
 
 
 def tables_fig05(result: Fig05Result) -> List[TableBlock]:
     """Figure 5 bars as table blocks (MPKI)."""
-    headers = ["suite"] + result.configurations
-    rows = []
-    for suite, values in result.mpki.items():
-        rows.append(
-            [suite.label] + [f"{values[label]:.2f}" for label in result.configurations]
-        )
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_fig05(result: Fig05Result) -> str:
     """Render the Figure 5 bars as a table (MPKI)."""
-    return render_blocks(tables_fig05(result))
+    return render_blocks(result.tables())
 
 
 def _constants() -> Dict[str, object]:
     """Key material: the nine predictor configurations Figure 5 sweeps."""
     return {
-        "configurations": [label for label, _, _, _ in predictor_configurations()],
+        "configurations": list(FIGURE5_LABELS),
         "section": CodeSection.TOTAL.name,
     }
 

@@ -9,14 +9,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    RowView,
     experiment_instructions,
+    fixed,
     render_blocks,
 )
 from repro.frontend.predictors import make_predictor
 from repro.frontend.simulation import simulate_branch_predictors
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.workloads.trace_cache import workload_trace
 
@@ -37,13 +42,42 @@ BREAKDOWN_CLASSES = ("not taken", "taken backward", "taken forward")
 
 
 @dataclass
-class Fig06Result:
-    """MPKI breakdown per (workload, configuration)."""
+class Fig06Result(FrameResult):
+    """MPKI breakdown per (workload, configuration).
+
+    Frames:
+
+    ``breakdown`` (primary)
+        One row per (workload, configuration): MPKI per outcome class
+        plus the total.
+    """
 
     instructions: int
     workloads: List[str] = field(default_factory=list)
-    #: workload -> configuration label -> outcome class -> MPKI
-    breakdown: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "breakdown"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.scalar("workloads"),
+        PayloadField.pivot(
+            "breakdown",
+            "breakdown",
+            [["workload"], ["config"]],
+            columns=BREAKDOWN_CLASSES,
+        ),
+    )
+    VIEWS = (
+        RowView(
+            "breakdown",
+            (
+                ("workload", "workload", str),
+                ("config", "config", str),
+            )
+            + tuple((cls, cls, fixed(2)) for cls in BREAKDOWN_CLASSES)
+            + (("total", "total", fixed(2)),),
+        ),
+    )
 
     def total_mpki(self, workload: str, config: str) -> float:
         """Total MPKI of one configuration on one workload."""
@@ -78,7 +112,7 @@ def run_fig06(
     """
     instructions = experiment_instructions(instructions)
     names = list(workloads or FIGURE6_WORKLOADS)
-    result = Fig06Result(instructions=instructions, workloads=names)
+    breakdown_rows: List[tuple] = []
     specs, rows = current_session().workload_sweep(
         _workload_breakdown,
         (instructions,),
@@ -87,28 +121,31 @@ def run_fig06(
         processes=processes,
     )
     for spec, breakdown in zip(specs, rows):
-        result.breakdown[spec.name] = breakdown
-    return result
+        for label, classes in breakdown.items():
+            breakdown_rows.append(
+                (spec.name, label)
+                + tuple(classes[cls] for cls in BREAKDOWN_CLASSES)
+                + (sum(classes.values()),)
+            )
+    return Fig06Result(
+        instructions=instructions,
+        workloads=names,
+        frames={
+            "breakdown": ResultFrame.from_rows(
+                ["workload", "config", *BREAKDOWN_CLASSES, "total"], breakdown_rows
+            ),
+        },
+    )
 
 
 def tables_fig06(result: Fig06Result) -> List[TableBlock]:
     """Figure 6 stacked bars as table blocks (MPKI)."""
-    headers = ["workload", "config"] + list(BREAKDOWN_CLASSES) + ["total"]
-    rows = []
-    for workload in result.workloads:
-        for label, _, _, _ in FIGURE6_CONFIGS:
-            breakdown = result.breakdown[workload][label]
-            rows.append(
-                [workload, label]
-                + [f"{breakdown[cls]:.2f}" for cls in BREAKDOWN_CLASSES]
-                + [f"{result.total_mpki(workload, label):.2f}"]
-            )
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_fig06(result: Fig06Result) -> str:
     """Render the Figure 6 stacked bars as a table (MPKI)."""
-    return render_blocks(tables_fig06(result))
+    return render_blocks(result.tables())
 
 
 def _constants() -> Dict[str, object]:

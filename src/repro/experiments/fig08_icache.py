@@ -5,15 +5,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    PivotView,
     experiment_instructions,
     default_workload_names,
+    fixed,
     mean,
     render_blocks,
+    suite_cell,
 )
 from repro.frontend.simulation import simulate_icache
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.workloads.suites import Suite
 from repro.workloads.trace_cache import workload_trace
@@ -45,15 +51,47 @@ LINE_BYTES = 64
 
 
 @dataclass
-class Fig08Result:
-    """I-cache MPKI per (suite, geometry)."""
+class Fig08Result(FrameResult):
+    """I-cache MPKI per (suite, geometry).
+
+    Frames:
+
+    ``suites`` (primary)
+        One row per (suite, size KB, ways): suite-average MPKI.
+    ``workloads``
+        One row per (workload, size KB, ways): MPKI.
+    """
 
     instructions: int
-    geometries: List[Tuple[int, int]] = field(default_factory=lambda: list(ICACHE_GEOMETRIES))
-    #: suite -> (size KB, associativity) -> MPKI
-    mpki: Dict[Suite, Dict[Tuple[int, int], float]] = field(default_factory=dict)
-    #: benchmark -> (size KB, associativity) -> MPKI
-    per_workload: Dict[str, Dict[Tuple[int, int], float]] = field(default_factory=dict)
+    geometries: List[Tuple[int, int]] = field(
+        default_factory=lambda: list(ICACHE_GEOMETRIES)
+    )
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "suites"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.scalar("geometries"),
+        PayloadField.pivot(
+            "mpki", "suites", [["suite"], ["size_kb", "ways"]], value="mpki"
+        ),
+        PayloadField.pivot(
+            "per_workload",
+            "workloads",
+            [["workload"], ["size_kb", "ways"]],
+            value="mpki",
+        ),
+    )
+    VIEWS = (
+        PivotView(
+            frame="suites",
+            index=(("suite", "suite", suite_cell),),
+            key=("size_kb", "ways"),
+            value="mpki",
+            header=lambda key: f"{key[0]}KB/{key[1]}w",
+            cell=fixed(2),
+        ),
+    )
 
 
 def run_fig08(
@@ -66,34 +104,41 @@ def run_fig08(
     """Regenerate the Figure 8 data."""
     instructions = experiment_instructions(instructions)
     geometries = list(geometries or ICACHE_GEOMETRIES)
-    result = Fig08Result(instructions=instructions, geometries=geometries)
+    suite_rows: List[tuple] = []
+    workload_rows: List[tuple] = []
     sweep = current_session().suite_sweep(
         _workload_mpki, (instructions, geometries), suites, run_parallel, processes
     )
     for suite, specs, rows in sweep:
         per_geometry: Dict[Tuple[int, int], List[float]] = {g: [] for g in geometries}
         for spec, row in zip(specs, rows):
-            result.per_workload[spec.name] = row
             for geometry, mpki in row.items():
+                workload_rows.append((spec.name, *geometry, mpki))
                 per_geometry[geometry].append(mpki)
-        result.mpki[suite] = {g: mean(v) for g, v in per_geometry.items()}
-    return result
+        for geometry in geometries:
+            suite_rows.append((suite, *geometry, mean(per_geometry[geometry])))
+    return Fig08Result(
+        instructions=instructions,
+        geometries=geometries,
+        frames={
+            "suites": ResultFrame.from_rows(
+                ["suite", "size_kb", "ways", "mpki"], suite_rows
+            ),
+            "workloads": ResultFrame.from_rows(
+                ["workload", "size_kb", "ways", "mpki"], workload_rows
+            ),
+        },
+    )
 
 
 def tables_fig08(result: Fig08Result) -> List[TableBlock]:
     """Figure 8 bars as table blocks (MPKI)."""
-    headers = ["suite"] + [f"{kb}KB/{a}w" for kb, a in result.geometries]
-    rows = []
-    for suite, values in result.mpki.items():
-        rows.append(
-            [suite.label] + [f"{values[g]:.2f}" for g in result.geometries]
-        )
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_fig08(result: Fig08Result) -> str:
     """Render the Figure 8 bars as a table (MPKI)."""
-    return render_blocks(tables_fig08(result))
+    return render_blocks(result.tables())
 
 
 def _constants() -> Dict[str, object]:

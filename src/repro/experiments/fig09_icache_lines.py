@@ -6,13 +6,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.line_usefulness import analyze_line_usefulness
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    PivotView,
     experiment_instructions,
+    fixed,
+    percent,
     render_blocks,
 )
 from repro.frontend.simulation import simulate_icache
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.workloads.trace_cache import workload_trace
 
@@ -30,16 +36,49 @@ CACHE_SIZE_BYTES = 16 * 1024
 
 
 @dataclass
-class Fig09Result:
-    """I-cache MPKI per (workload, line geometry) plus line usefulness."""
+class Fig09Result(FrameResult):
+    """I-cache MPKI per (workload, line geometry) plus line usefulness.
+
+    Frames:
+
+    ``lines`` (primary)
+        One row per (workload, line bytes, ways): MPKI.
+    ``usefulness``
+        One row per workload: 128B line usefulness (fraction).
+    """
 
     instructions: int
     workloads: List[str] = field(default_factory=list)
-    geometries: List[Tuple[int, int]] = field(default_factory=lambda: list(LINE_GEOMETRIES))
-    #: workload -> (line bytes, associativity) -> MPKI
-    mpki: Dict[str, Dict[Tuple[int, int], float]] = field(default_factory=dict)
-    #: workload -> 128B line usefulness (fraction)
-    usefulness_128: Dict[str, float] = field(default_factory=dict)
+    geometries: List[Tuple[int, int]] = field(
+        default_factory=lambda: list(LINE_GEOMETRIES)
+    )
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "lines"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.scalar("workloads"),
+        PayloadField.scalar("geometries"),
+        PayloadField.pivot(
+            "mpki", "lines", [["workload"], ["line_bytes", "ways"]], value="mpki"
+        ),
+        PayloadField.pivot(
+            "usefulness_128", "usefulness", [["workload"]], value="usefulness_128"
+        ),
+    )
+    VIEWS = (
+        PivotView(
+            frame="lines",
+            index=(("workload", "workload", str),),
+            key=("line_bytes", "ways"),
+            value="mpki",
+            header=lambda key: f"{key[0]}B/{key[1]}w",
+            cell=fixed(2),
+            extra=(
+                ("usefulness", "usefulness_128", "128B usefulness", percent(0, "%")),
+            ),
+        ),
+    )
 
 
 def _workload_lines(args) -> Tuple[Dict[Tuple[int, int], float], float]:
@@ -72,40 +111,43 @@ def run_fig09(
     """
     instructions = experiment_instructions(instructions)
     names = list(workloads or FIGURE9_WORKLOADS)
-    result = Fig09Result(instructions=instructions, workloads=names)
+    geometries = list(LINE_GEOMETRIES)
+    line_rows: List[tuple] = []
+    usefulness_rows: List[tuple] = []
     specs, rows = current_session().workload_sweep(
         _workload_lines,
-        (instructions, tuple(result.geometries)),
+        (instructions, tuple(geometries)),
         names=names,
         parallel=run_parallel,
         processes=processes,
     )
     for spec, (mpki, usefulness) in zip(specs, rows):
-        result.mpki[spec.name] = mpki
-        result.usefulness_128[spec.name] = usefulness
-    return result
+        for geometry, value in mpki.items():
+            line_rows.append((spec.name, *geometry, value))
+        usefulness_rows.append((spec.name, usefulness))
+    return Fig09Result(
+        instructions=instructions,
+        workloads=names,
+        geometries=geometries,
+        frames={
+            "lines": ResultFrame.from_rows(
+                ["workload", "line_bytes", "ways", "mpki"], line_rows
+            ),
+            "usefulness": ResultFrame.from_rows(
+                ["workload", "usefulness_128"], usefulness_rows
+            ),
+        },
+    )
 
 
 def tables_fig09(result: Fig09Result) -> List[TableBlock]:
     """Figure 9 bars as table blocks (MPKI, plus 128B usefulness)."""
-    headers = (
-        ["workload"]
-        + [f"{lb}B/{a}w" for lb, a in result.geometries]
-        + ["128B usefulness"]
-    )
-    rows = []
-    for workload in result.workloads:
-        rows.append(
-            [workload]
-            + [f"{result.mpki[workload][g]:.2f}" for g in result.geometries]
-            + [f"{100 * result.usefulness_128[workload]:.0f}%"]
-        )
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_fig09(result: Fig09Result) -> str:
     """Render the Figure 9 bars as a table (MPKI, plus 128B usefulness)."""
-    return render_blocks(tables_fig09(result))
+    return render_blocks(result.tables())
 
 
 def _constants() -> Dict[str, object]:

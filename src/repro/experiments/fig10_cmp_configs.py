@@ -5,16 +5,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    RowView,
     experiment_instructions,
     default_workload_names,
+    fixed,
     mean,
     normalize_to_reference,
     render_blocks,
+    suite_cell,
 )
 from repro.power.cmp_power import evaluate_cmp_energy
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.uarch.cmp import STANDARD_CMP_CONFIGS, CmpConfig
 from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
@@ -25,15 +31,38 @@ FIG10_METRICS = ("execution time", "power", "energy", "energy-delay")
 
 
 @dataclass
-class Fig10Result:
-    """Normalized metrics per (suite, CMP configuration)."""
+class Fig10Result(FrameResult):
+    """Normalized metrics per (suite, CMP configuration).
+
+    Frames:
+
+    ``suites`` (primary)
+        One row per (suite, metric): per-CMP values normalized to the
+        Baseline CMP (suite average).
+    ``workloads``
+        One row per (workload, metric): per-CMP normalized values.
+    """
 
     instructions: int
     cmp_names: List[str] = field(default_factory=list)
-    #: suite -> metric -> cmp name -> value normalized to the Baseline CMP
-    normalized: Dict[Suite, Dict[str, Dict[str, float]]] = field(default_factory=dict)
-    #: benchmark -> metric -> cmp name -> normalized value
-    per_workload: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "suites"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.scalar("cmp_names"),
+        PayloadField.pivot("normalized", "suites", [["suite"], ["metric"]]),
+        PayloadField.pivot("per_workload", "workloads", [["workload"], ["metric"]]),
+    )
+
+    def views(self) -> Sequence[RowView]:
+        return (
+            RowView(
+                "suites",
+                (("suite", "suite", suite_cell), ("metric", "metric", str))
+                + tuple((name, name, fixed(3)) for name in self.cmp_names),
+            ),
+        )
 
 
 def _evaluate_workload(args) -> Dict[str, Dict[str, float]]:
@@ -75,44 +104,49 @@ def run_fig10(
     """
     instructions = experiment_instructions(instructions)
     cmps = tuple(cmps)
-    result = Fig10Result(
-        instructions=instructions, cmp_names=[cmp.name for cmp in cmps]
-    )
+    names = [cmp.name for cmp in cmps]
+    suite_rows: List[tuple] = []
+    workload_rows: List[tuple] = []
     sweep = current_session().suite_sweep(
         _evaluate_workload, (instructions, cmps), suites, run_parallel, processes
     )
     for suite, specs, rows in sweep:
         per_metric: Dict[str, Dict[str, List[float]]] = {
-            metric: {cmp.name: [] for cmp in cmps} for metric in FIG10_METRICS
+            metric: {name: [] for name in names} for metric in FIG10_METRICS
         }
         for spec, normalized in zip(specs, rows):
-            result.per_workload[spec.name] = normalized
             for metric in FIG10_METRICS:
-                for cmp in cmps:
-                    per_metric[metric][cmp.name].append(normalized[metric][cmp.name])
-        result.normalized[suite] = {
-            metric: {name: mean(values) for name, values in by_cmp.items()}
-            for metric, by_cmp in per_metric.items()
-        }
-    return result
+                workload_rows.append(
+                    (spec.name, metric)
+                    + tuple(normalized[metric][name] for name in names)
+                )
+                for name in names:
+                    per_metric[metric][name].append(normalized[metric][name])
+        for metric in FIG10_METRICS:
+            suite_rows.append(
+                (suite, metric)
+                + tuple(mean(per_metric[metric][name]) for name in names)
+            )
+    return Fig10Result(
+        instructions=instructions,
+        cmp_names=names,
+        frames={
+            "suites": ResultFrame.from_rows(["suite", "metric", *names], suite_rows),
+            "workloads": ResultFrame.from_rows(
+                ["workload", "metric", *names], workload_rows
+            ),
+        },
+    )
 
 
 def tables_fig10(result: Fig10Result) -> List[TableBlock]:
     """Figure 10 bars as table blocks (normalized to Baseline CMP)."""
-    headers = ["suite", "metric"] + result.cmp_names
-    rows = []
-    for suite, metrics in result.normalized.items():
-        for metric in FIG10_METRICS:
-            rows.append(
-                [suite.label, metric]
-                + [f"{metrics[metric][name]:.3f}" for name in result.cmp_names]
-            )
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_fig10(result: Fig10Result) -> str:
     """Render the Figure 10 bars as a table (normalized to Baseline CMP)."""
-    return render_blocks(tables_fig10(result))
+    return render_blocks(result.tables())
 
 
 def _constants() -> Dict[str, object]:

@@ -5,13 +5,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    RowView,
     experiment_instructions,
+    fixed,
     normalize_to_reference,
     render_blocks,
 )
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.uarch.cmp import STANDARD_CMP_CONFIGS, CmpConfig
 from repro.uarch.simulator import profile_workload_frontend, run_on_cmp
@@ -21,14 +26,37 @@ FIGURE11_WORKLOADS = ("CoEVP", "CoMD", "fma3d", "FT", "h264ref", "gobmk")
 
 
 @dataclass
-class Fig11Result:
-    """Normalized execution time per (workload, CMP configuration)."""
+class Fig11Result(FrameResult):
+    """Normalized execution time per (workload, CMP configuration).
+
+    Frames:
+
+    ``workloads`` (primary)
+        One row per workload: execution time per CMP, normalized to
+        the Baseline CMP.
+    """
 
     instructions: int
     cmp_names: List[str] = field(default_factory=list)
     workloads: List[str] = field(default_factory=list)
-    #: workload -> cmp name -> execution time normalized to the Baseline CMP
-    normalized_time: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "workloads"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.scalar("cmp_names"),
+        PayloadField.scalar("workloads"),
+        PayloadField.pivot("normalized_time", "workloads", [["workload"]]),
+    )
+
+    def views(self) -> Sequence[RowView]:
+        return (
+            RowView(
+                "workloads",
+                (("workload", "workload", str),)
+                + tuple((name, name, fixed(3)) for name in self.cmp_names),
+            ),
+        )
 
 
 def _evaluate_workload_time(args) -> Dict[str, float]:
@@ -57,12 +85,8 @@ def run_fig11(
     """
     instructions = experiment_instructions(instructions)
     cmps = tuple(cmps)
+    cmp_names = [cmp.name for cmp in cmps]
     names = list(workloads or FIGURE11_WORKLOADS)
-    result = Fig11Result(
-        instructions=instructions,
-        cmp_names=[cmp.name for cmp in cmps],
-        workloads=names,
-    )
     specs, rows = current_session().workload_sweep(
         _evaluate_workload_time,
         (instructions, cmps),
@@ -70,26 +94,30 @@ def run_fig11(
         parallel=run_parallel,
         processes=processes,
     )
-    for spec, normalized in zip(specs, rows):
-        result.normalized_time[spec.name] = normalized
-    return result
+    workload_rows = [
+        (spec.name,) + tuple(normalized[name] for name in cmp_names)
+        for spec, normalized in zip(specs, rows)
+    ]
+    return Fig11Result(
+        instructions=instructions,
+        cmp_names=cmp_names,
+        workloads=names,
+        frames={
+            "workloads": ResultFrame.from_rows(
+                ["workload", *cmp_names], workload_rows
+            ),
+        },
+    )
 
 
 def tables_fig11(result: Fig11Result) -> List[TableBlock]:
     """Figure 11 bars as table blocks."""
-    headers = ["workload"] + result.cmp_names
-    rows = []
-    for workload in result.workloads:
-        rows.append(
-            [workload]
-            + [f"{result.normalized_time[workload][name]:.3f}" for name in result.cmp_names]
-        )
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_fig11(result: Fig11Result) -> str:
     """Render the Figure 11 bars as a table."""
-    return render_blocks(tables_fig11(result))
+    return render_blocks(result.tables())
 
 
 def _derive_from_fig10(dependencies, config) -> Optional[Fig11Result]:
@@ -99,34 +127,43 @@ def _derive_from_fig10(dependencies, config) -> Optional[Fig11Result]:
     execution-time metric, so when a compatible Figure 10 artifact is
     available (same instruction budget, the standard chips, and
     coverage of every Figure 11 benchmark) the result can be assembled
-    without simulating anything.  The sliced values are the very floats
-    Figure 10 computed, so the derived artifact is bit-identical to a
-    directly computed one.
+    without simulating anything.  Since the frame-native artifacts the
+    slice reads Figure 10's stored ``workloads`` frame directly: the
+    sliced cells are the very floats Figure 10 computed, so the derived
+    artifact is bit-identical to a directly computed one.
     """
     fig10 = dependencies.get("fig10")
     if fig10 is None:
         return None
-    payload = fig10.get("payload") or {}
-    if payload.get("instructions") != config.get("instructions"):
+    scalars = {
+        entry.get("name"): entry.get("value")
+        for entry in fig10.get("payload") or []
+        if isinstance(entry, dict) and entry.get("frame") is None
+    }
+    if scalars.get("instructions") != config.get("instructions"):
         return None
-    cmp_names = list(payload.get("cmp_names") or [])
+    cmp_names = list(scalars.get("cmp_names") or [])
     if cmp_names != [cmp.name for cmp in STANDARD_CMP_CONFIGS]:
         return None
-    per_workload = payload.get("per_workload") or {}
-    names = list(FIGURE11_WORKLOADS)
-    if any(name not in per_workload for name in names):
+    try:
+        frame = ResultFrame.from_payload((fig10.get("frames") or {}).get("workloads"))
+    except ValueError:
         return None
-    result = Fig11Result(
+    times = frame.select(metric="execution time")
+    by_workload = {record.get("workload"): record for record in times.records()}
+    names = list(FIGURE11_WORKLOADS)
+    rows: List[tuple] = []
+    for name in names:
+        record = by_workload.get(name)
+        if record is None or any(cmp not in record for cmp in cmp_names):
+            return None
+        rows.append((name,) + tuple(float(record[cmp]) for cmp in cmp_names))
+    return Fig11Result(
         instructions=int(config["instructions"]),
         cmp_names=cmp_names,
         workloads=names,
+        frames={"workloads": ResultFrame.from_rows(["workload", *cmp_names], rows)},
     )
-    for name in names:
-        times = per_workload[name].get("execution time")
-        if times is None or any(cmp not in times for cmp in cmp_names):
-            return None
-        result.normalized_time[name] = {cmp: float(times[cmp]) for cmp in cmp_names}
-    return result
 
 
 def _constants() -> Dict[str, object]:

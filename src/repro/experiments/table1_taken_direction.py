@@ -6,28 +6,66 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.branch_bias import analyze_taken_directions
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
 from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    RowView,
     experiment_instructions,
     default_workload_names,
     mean,
     render_blocks,
     sections_for,
+    suite_cell,
 )
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.trace.instruction import CodeSection
 from repro.workloads.suites import Suite
 from repro.workloads.trace_cache import workload_trace
 
 
+def _share_cell(value: Optional[float]) -> str:
+    """Percent cell; desktop codes have no serial/parallel split."""
+    return "-" if value is None else f"{100 * value:.0f}%"
+
+
 @dataclass
-class Table1Result:
-    """Per-suite, per-section backward-taken share."""
+class Table1Result(FrameResult):
+    """Per-suite, per-section backward-taken share.
+
+    Frames:
+
+    ``sections`` (primary)
+        One row per (suite, section): backward-taken share.
+    ``table``
+        One row per suite in Table I layout: serial/parallel backward
+        shares (``None`` where a desktop code has no section split).
+    """
 
     instructions: int
-    #: suite -> section -> fraction of taken branches that jump backward
-    backward: Dict[Suite, Dict[CodeSection, float]] = field(default_factory=dict)
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "sections"
+    PAYLOAD = (
+        PayloadField.scalar("instructions"),
+        PayloadField.pivot(
+            "backward", "sections", [["suite"], ["section"]], value="backward"
+        ),
+    )
+    VIEWS = (
+        RowView(
+            "table",
+            (
+                ("suite", "suite", suite_cell),
+                ("serial_backward", "serial backward", _share_cell),
+                ("serial_forward", "serial forward", _share_cell),
+                ("parallel_backward", "parallel backward", _share_cell),
+                ("parallel_forward", "parallel forward", _share_cell),
+            ),
+        ),
+    )
 
     def forward(self, suite: Suite, section: CodeSection) -> float:
         """Forward-taken share (complement of the backward share)."""
@@ -56,7 +94,8 @@ def run_table1(
     engine; ``run_parallel`` overrides the session's parallelism.
     """
     instructions = experiment_instructions(instructions)
-    result = Table1Result(instructions=instructions)
+    section_rows: List[tuple] = []
+    table_rows: List[tuple] = []
     sweep = current_session().suite_sweep(
         _workload_directions, (instructions,), suites, run_parallel, processes
     )
@@ -65,37 +104,46 @@ def run_table1(
         for spec, fractions in zip(specs, rows):
             for section, backward in fractions.items():
                 per_section.setdefault(section, []).append(backward)
-        result.backward[suite] = {
+        averages = {
             section: mean(values) for section, values in per_section.items()
         }
-    return result
+        for section, backward in averages.items():
+            section_rows.append((suite, section, backward))
+        if CodeSection.SERIAL in averages and CodeSection.PARALLEL in averages:
+            serial = averages[CodeSection.SERIAL]
+            parallel = averages[CodeSection.PARALLEL]
+            table_rows.append((suite, serial, 1 - serial, parallel, 1 - parallel))
+        else:
+            total = averages[CodeSection.TOTAL]
+            table_rows.append((suite, total, 1 - total, None, None))
+    return Table1Result(
+        instructions=instructions,
+        frames={
+            "sections": ResultFrame.from_rows(
+                ["suite", "section", "backward"], section_rows
+            ),
+            "table": ResultFrame.from_rows(
+                [
+                    "suite",
+                    "serial_backward",
+                    "serial_forward",
+                    "parallel_backward",
+                    "parallel_forward",
+                ],
+                table_rows,
+            ),
+        },
+    )
 
 
 def tables_table1(result: Table1Result) -> List[TableBlock]:
     """Table I as table blocks (percent backward / forward per section)."""
-    headers = ["suite", "serial backward", "serial forward", "parallel backward", "parallel forward"]
-    rows = []
-    for suite, sections in result.backward.items():
-        if CodeSection.SERIAL in sections and CodeSection.PARALLEL in sections:
-            serial = sections[CodeSection.SERIAL]
-            parallel = sections[CodeSection.PARALLEL]
-            rows.append([
-                suite.label,
-                f"{100 * serial:.0f}%", f"{100 * (1 - serial):.0f}%",
-                f"{100 * parallel:.0f}%", f"{100 * (1 - parallel):.0f}%",
-            ])
-        else:
-            total = sections[CodeSection.TOTAL]
-            rows.append([
-                suite.label,
-                f"{100 * total:.0f}%", f"{100 * (1 - total):.0f}%", "-", "-",
-            ])
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_table1(result: Table1Result) -> str:
     """Render Table I (percent backward / forward per code section)."""
-    return render_blocks(tables_table1(result))
+    return render_blocks(result.tables())
 
 
 SPEC = ExperimentSpec(

@@ -5,23 +5,61 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
-from repro.experiments.common import render_blocks
+from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    RowView,
+    fixed,
+    render_blocks,
+)
 from repro.frontend.predictors import make_predictor
 from repro.frontend.predictors.factory import PREDICTOR_KINDS, SIZE_PARAMETERS
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 
 
 @dataclass
-class Table2Result:
-    """Hardware cost (bits and KB) of every evaluated predictor config."""
+class Table2Result(FrameResult):
+    """Hardware cost (bits and KB) of every evaluated predictor config.
 
-    #: (kind, budget) -> storage bits
-    storage_bits: Dict[Tuple[str, str], int] = field(default_factory=dict)
-    #: (kind, budget) -> Table II size parameters
-    parameters: Dict[Tuple[str, str], Dict[str, int]] = field(default_factory=dict)
+    Frames:
+
+    ``budgets`` (primary)
+        One row per (predictor, budget): storage bits and the Table II
+        size-parameter dict.
+    ``table``
+        The rendered Table II rows (including the loop side predictor).
+    """
+
     loop_predictor_bits: int = 0
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "budgets"
+    PAYLOAD = (
+        PayloadField.pivot(
+            "storage_bits",
+            "budgets",
+            [["predictor", "budget"]],
+            value="storage_bits",
+        ),
+        PayloadField.pivot(
+            "parameters", "budgets", [["predictor", "budget"]], value="parameters"
+        ),
+        PayloadField.scalar("loop_predictor_bits"),
+    )
+    VIEWS = (
+        RowView(
+            "table",
+            (
+                ("predictor", "predictor", str),
+                ("budget", "budget", str),
+                ("parameters", "size parameters", str),
+                ("cost_kb", "cost [KB]", fixed(2)),
+            ),
+        ),
+    )
 
     def storage_kb(self, kind: str, budget: str) -> float:
         """Storage cost of one configuration in KB."""
@@ -32,7 +70,11 @@ def _predictor_cost(args) -> Tuple[Tuple[str, str], int, Dict[str, int]]:
     """Per-configuration worker: storage bits and size parameters."""
     kind, budget = args
     predictor = make_predictor(kind, budget)
-    return (kind, budget), predictor.storage_bits(), dict(SIZE_PARAMETERS[(kind, budget)])
+    return (
+        (kind, budget),
+        predictor.storage_bits(),
+        dict(SIZE_PARAMETERS[(kind, budget)]),
+    )
 
 
 def run_table2(
@@ -45,40 +87,44 @@ def run_table2(
     sweep engine (cheap, but it keeps the ``--parallel`` contract
     uniform across every experiment).
     """
-    result = Table2Result()
     arguments = [
         (kind, budget) for kind in PREDICTOR_KINDS for budget in ("small", "big")
     ]
-    for key, bits, parameters in current_session().map(
+    budget_rows: List[tuple] = []
+    table_rows: List[tuple] = []
+    for (kind, budget), bits, parameters in current_session().map(
         _predictor_cost, arguments, run_parallel, processes
     ):
-        result.storage_bits[key] = bits
-        result.parameters[key] = parameters
+        budget_rows.append((kind, budget, bits, parameters))
+        rendered = ", ".join(f"{key}={value}" for key, value in parameters.items())
+        table_rows.append((kind, budget, rendered, bits / 8192.0))
     loop_augmented = make_predictor("gshare", "small", with_loop=True)
     plain = make_predictor("gshare", "small")
-    result.loop_predictor_bits = loop_augmented.storage_bits() - plain.storage_bits()
-    return result
+    loop_predictor_bits = loop_augmented.storage_bits() - plain.storage_bits()
+    table_rows.append(
+        ("loop predictor", "64-entry", "side predictor", loop_predictor_bits / 8192.0)
+    )
+    return Table2Result(
+        loop_predictor_bits=loop_predictor_bits,
+        frames={
+            "budgets": ResultFrame.from_rows(
+                ["predictor", "budget", "storage_bits", "parameters"], budget_rows
+            ),
+            "table": ResultFrame.from_rows(
+                ["predictor", "budget", "parameters", "cost_kb"], table_rows
+            ),
+        },
+    )
 
 
 def tables_table2(result: Table2Result) -> List[TableBlock]:
     """Table II as table blocks (predictor budgets)."""
-    headers = ["predictor", "budget", "size parameters", "cost [KB]"]
-    rows = []
-    for (kind, budget), bits in result.storage_bits.items():
-        parameters = ", ".join(
-            f"{key}={value}" for key, value in result.parameters[(kind, budget)].items()
-        )
-        rows.append([kind, budget, parameters, f"{bits / 8192.0:.2f}"])
-    rows.append([
-        "loop predictor", "64-entry", "side predictor",
-        f"{result.loop_predictor_bits / 8192.0:.2f}",
-    ])
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_table2(result: Table2Result) -> str:
     """Render Table II (predictor budgets)."""
-    return render_blocks(tables_table2(result))
+    return render_blocks(result.tables())
 
 
 def _constants() -> Mapping[str, object]:

@@ -5,10 +5,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.frame import ResultFrame
 from repro.api.session import current_session
-from repro.experiments.common import render_blocks
+from repro.experiments.common import (
+    FrameResult,
+    PayloadField,
+    RowView,
+    render_blocks,
+)
 from repro.power.core_power import CoreAreaPower, core_area_power
-from repro.results.artifacts import TableBlock, block
+from repro.results.artifacts import TableBlock
 from repro.results.spec import ExperimentSpec
 from repro.uarch.core import BASELINE_CORE, TAILORED_CORE, CoreModel
 
@@ -28,12 +34,42 @@ PAPER_TABLE3 = {
     },
 }
 
+#: The front-end structures Table III itemizes, in row order.
+TABLE3_STRUCTURES = ("I-cache", "BP", "BTB")
+
 
 @dataclass
-class Table3Result:
-    """Modelled core-level area and power for both core flavours."""
+class Table3Result(FrameResult):
+    """Modelled core-level area and power for both core flavours.
+
+    Frames:
+
+    ``structures`` (primary)
+        One numeric row per (core, structure): modelled and paper
+        area/power (the total-core row included).
+    ``table``
+        The rendered Table III rows (modelled next to paper values,
+        plus the tailored/baseline ratio rows), preformatted.
+    """
 
     cores: Dict[str, CoreAreaPower] = field(default_factory=dict)
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+
+    PRIMARY = "structures"
+    PAYLOAD = (PayloadField.scalar("cores"),)
+    VIEWS = (
+        RowView(
+            "table",
+            (
+                ("core", "core", str),
+                ("structure", "structure", str),
+                ("area", "area [mm2]", str),
+                ("paper_area", "paper area", str),
+                ("power", "power [W]", str),
+                ("paper_power", "paper power", str),
+            ),
+        ),
+    )
 
     def area_ratio(self) -> float:
         """Tailored core area relative to the baseline core."""
@@ -55,6 +91,91 @@ def _core_budget(core: CoreModel) -> Tuple[str, CoreAreaPower]:
     return core.name, core_area_power(core)
 
 
+def _result_frames(result: Table3Result) -> Dict[str, ResultFrame]:
+    """The numeric structure rows and the rendered Table III rows."""
+    structure_rows: List[tuple] = []
+    table_rows: List[tuple] = []
+    for core_name, budget in result.cores.items():
+        paper = PAPER_TABLE3[core_name]
+        structure_rows.append(
+            (
+                core_name,
+                "Total core",
+                budget.total_area_mm2,
+                paper["Total core"]["area_mm2"],
+                budget.active_power_w,
+                paper["Total core"]["power_w"],
+            )
+        )
+        table_rows.append(
+            (
+                core_name,
+                "Total core",
+                f"{budget.total_area_mm2:.2f}",
+                f"{paper['Total core']['area_mm2']:.2f}",
+                f"{budget.active_power_w:.2f}",
+                f"{paper['Total core']['power_w']:.2f}",
+            )
+        )
+        modelled = budget.frontend.as_rows()
+        for structure in TABLE3_STRUCTURES:
+            structure_rows.append(
+                (
+                    core_name,
+                    structure,
+                    modelled[structure]["area_mm2"],
+                    paper[structure]["area_mm2"],
+                    modelled[structure]["power_w"],
+                    paper[structure]["power_w"],
+                )
+            )
+            table_rows.append(
+                (
+                    core_name,
+                    structure,
+                    f"{modelled[structure]['area_mm2']:.3f}",
+                    f"{paper[structure]['area_mm2']:.3f}",
+                    f"{modelled[structure]['power_w']:.3f}",
+                    f"{paper[structure]['power_w']:.3f}",
+                )
+            )
+    table_rows.append(
+        (
+            "tailored/baseline",
+            "area ratio",
+            f"{result.area_ratio():.2f}",
+            "0.84",
+            "",
+            "",
+        )
+    )
+    table_rows.append(
+        (
+            "tailored/baseline",
+            "power ratio",
+            f"{result.power_ratio():.2f}",
+            "0.93",
+            "",
+            "",
+        )
+    )
+    columns = ["core", "structure", "area", "paper_area", "power", "paper_power"]
+    return {
+        "structures": ResultFrame.from_rows(
+            [
+                "core",
+                "structure",
+                "area_mm2",
+                "paper_area_mm2",
+                "power_w",
+                "paper_power_w",
+            ],
+            structure_rows,
+        ),
+        "table": ResultFrame.from_rows(columns, table_rows),
+    }
+
+
 def run_table3(
     run_parallel: Optional[bool] = None,
     processes: Optional[int] = None,
@@ -70,41 +191,18 @@ def run_table3(
         _core_budget, (BASELINE_CORE, TAILORED_CORE), run_parallel, processes
     ):
         result.cores[name] = budget
+    result.frames.update(_result_frames(result))
     return result
 
 
 def tables_table3(result: Table3Result) -> List[TableBlock]:
     """Table III as table blocks, with the paper's values side by side."""
-    headers = ["core", "structure", "area [mm2]", "paper area", "power [W]", "paper power"]
-    rows = []
-    for core_name, budget in result.cores.items():
-        paper = PAPER_TABLE3[core_name]
-        rows.append([
-            core_name, "Total core",
-            f"{budget.total_area_mm2:.2f}", f"{paper['Total core']['area_mm2']:.2f}",
-            f"{budget.active_power_w:.2f}", f"{paper['Total core']['power_w']:.2f}",
-        ])
-        modelled = budget.frontend.as_rows()
-        for structure in ("I-cache", "BP", "BTB"):
-            rows.append([
-                core_name, structure,
-                f"{modelled[structure]['area_mm2']:.3f}",
-                f"{paper[structure]['area_mm2']:.3f}",
-                f"{modelled[structure]['power_w']:.3f}",
-                f"{paper[structure]['power_w']:.3f}",
-            ])
-    rows.append([
-        "tailored/baseline", "area ratio", f"{result.area_ratio():.2f}", "0.84", "", "",
-    ])
-    rows.append([
-        "tailored/baseline", "power ratio", f"{result.power_ratio():.2f}", "0.93", "", "",
-    ])
-    return [block(headers, rows)]
+    return result.tables()
 
 
 def format_table3(result: Table3Result) -> str:
     """Render Table III with the paper's values side by side."""
-    return render_blocks(tables_table3(result))
+    return render_blocks(result.tables())
 
 
 def _constants() -> Dict[str, object]:

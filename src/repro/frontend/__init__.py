@@ -70,36 +70,4 @@ __all__ = [
     "simulate_branch_predictor",
     "simulate_btb",
     "simulate_icache",
-    "simulate_frontend",
 ]
-
-#: Package-level names served via module ``__getattr__`` with a
-#: :class:`DeprecationWarning`: the full-front-end walk is Session
-#: territory now (``Session.sweep`` batches it; the engine itself
-#: stays importable, warning-free, from
-#: :mod:`repro.frontend.simulation`).
-_DEPRECATED_EXPORTS = {
-    "simulate_frontend": (
-        "Session.sweep(...) or repro.frontend.simulation.simulate_frontend"
-    ),
-    "simulate_frontend_many": (
-        "Session.sweep(...) or repro.frontend.simulation.simulate_frontend_many"
-    ),
-}
-
-
-def __getattr__(name):
-    replacement = _DEPRECATED_EXPORTS.get(name)
-    if replacement is not None:
-        import warnings
-
-        from repro.frontend import simulation
-
-        warnings.warn(
-            f"repro.frontend.{name} is deprecated and will be removed; "
-            f"use {replacement} instead (bit-identical results).",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(simulation, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -18,12 +18,19 @@ import enum
 import json
 import os
 from dataclasses import dataclass, fields, is_dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-#: Version of the artifact schema, folded into the result-store key so
-#: a schema change invalidates stored entries instead of corrupting
-#: readers.
-ARTIFACT_SCHEMA_VERSION = 1
+#: Version of the *stored* artifact schema, folded into the result-store
+#: key so a schema change invalidates stored entries instead of
+#: corrupting readers.  Since v2 the payload is a set of named columnar
+#: frames plus a declarative payload spec; the nested-dict payload of
+#: v1 is *rendered* from the frames at emission time.
+ARTIFACT_SCHEMA_VERSION = 2
+
+#: Version of the *emitted* manifest JSON layout.  Emission renders the
+#: stored frames back into the historical v1 layout so manifest files
+#: stay byte-identical across the frame-native refactor.
+RENDERED_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -96,27 +103,150 @@ def to_jsonable(value: Any) -> Any:
     return str(value)
 
 
+def nest_rows(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    levels: Sequence[Sequence[str]],
+    value: Optional[str] = None,
+    value_columns: Optional[Sequence[str]] = None,
+    key: Optional[Callable[[Any], Any]] = None,
+) -> Dict[Any, Any]:
+    """Pivot columnar rows into the historical nested-dict payload.
+
+    ``levels`` names the key columns, outermost first; a single-column
+    level keys on the cell itself, a multi-column level on the cell
+    tuple, optionally passed through ``key`` (the payload renderer uses
+    :func:`_key_string` here so serialized keys match the v1 layout).
+    Leaves are the ``value`` column's cell, or -- when ``value`` is
+    None -- a dict of the ``value_columns`` cells (default: every
+    column not used as a level), in column order.
+    """
+    index = {name: position for position, name in enumerate(columns)}
+    level_positions = [[index[name] for name in level] for level in levels]
+    if value is not None:
+        value_position = index[value]
+        leaf_columns: List[Tuple[str, int]] = []
+    else:
+        value_position = -1
+        used = {name for level in levels for name in level}
+        if value_columns is None:
+            value_columns = [name for name in columns if name not in used]
+        leaf_columns = [(name, index[name]) for name in value_columns]
+    root: Dict[Any, Any] = {}
+    last = len(level_positions) - 1
+    for row in rows:
+        node = root
+        for depth, positions in enumerate(level_positions):
+            if len(positions) == 1:
+                cell = row[positions[0]]
+            else:
+                cell = tuple(row[position] for position in positions)
+            if key is not None:
+                cell = key(cell)
+            if depth == last:
+                if value is not None:
+                    node[cell] = row[value_position]
+                else:
+                    node[cell] = {
+                        name: row[position] for name, position in leaf_columns
+                    }
+            else:
+                node = node.setdefault(cell, {})
+    return root
+
+
+def _table_entries(blocks: Sequence[TableBlock]) -> List[Dict[str, Any]]:
+    return [
+        {
+            "title": item.title,
+            "name": item.name,
+            "headers": list(item.headers),
+            "rows": [list(row) for row in item.rows],
+        }
+        for item in blocks
+    ]
+
+
 def build_artifact(
     experiment: str,
     title: str,
     blocks: Sequence[TableBlock],
     payload: Any,
 ) -> Dict[str, Any]:
-    """Assemble the stored/emitted artifact of one experiment result."""
+    """Assemble a legacy (v1) artifact from rendered blocks + payload.
+
+    Kept for direct callers and tests; the orchestrator stores
+    frame-native artifacts via :func:`build_frame_artifact`.
+    """
+    return {
+        "schema": RENDERED_SCHEMA_VERSION,
+        "experiment": experiment,
+        "title": title,
+        "tables": _table_entries(blocks),
+        "payload": to_jsonable(payload),
+    }
+
+
+def build_frame_artifact(
+    experiment: str,
+    title: str,
+    blocks: Sequence[TableBlock],
+    result: Any,
+) -> Dict[str, Any]:
+    """Assemble the frame-native (v2) artifact of one experiment result.
+
+    ``result`` is a :class:`repro.experiments.common.FrameResult`: its
+    named frames are stored in their versioned columnar form, and the
+    declarative payload spec (scalars carry their value; pivot entries
+    describe how to rebuild the historical nested dict from a frame) is
+    stored alongside so emission needs no driver code.
+    """
     return {
         "schema": ARTIFACT_SCHEMA_VERSION,
         "experiment": experiment,
         "title": title,
-        "tables": [
-            {
-                "title": item.title,
-                "name": item.name,
-                "headers": list(item.headers),
-                "rows": [list(row) for row in item.rows],
-            }
-            for item in blocks
-        ],
-        "payload": to_jsonable(payload),
+        "tables": _table_entries(blocks),
+        "primary": result.PRIMARY,
+        "frames": result.serialized_frames(),
+        "payload": result.payload_entries(),
+    }
+
+
+def rendered_payload(artifact: Mapping[str, Any]) -> Dict[str, Any]:
+    """Render a v2 artifact's payload spec into the v1 nested dict."""
+    payload: Dict[str, Any] = {}
+    for entry in artifact["payload"]:
+        if entry.get("frame") is None:
+            payload[entry["name"]] = entry["value"]
+        else:
+            frame = artifact["frames"][entry["frame"]]
+            payload[entry["name"]] = nest_rows(
+                frame["columns"],
+                frame["rows"],
+                entry["levels"],
+                entry.get("value"),
+                entry.get("columns"),
+                key=_key_string,
+            )
+    return payload
+
+
+def rendered_artifact(artifact: Mapping[str, Any]) -> Dict[str, Any]:
+    """The emitted (v1-layout) form of an artifact.
+
+    v2 artifacts are lowered to the historical layout -- tables as
+    stored, payload rendered from the frames -- so manifest JSON stays
+    byte-identical across the frame-native refactor; v1 artifacts pass
+    through unchanged.
+    """
+    if artifact.get("schema") != ARTIFACT_SCHEMA_VERSION:
+        return dict(artifact)
+    return {
+        "schema": RENDERED_SCHEMA_VERSION,
+        "experiment": artifact["experiment"],
+        "title": artifact["title"],
+        "tables": artifact["tables"],
+        "payload": rendered_payload(artifact),
     }
 
 
@@ -134,10 +264,16 @@ def artifact_blocks(artifact: Dict[str, Any]) -> List[TableBlock]:
 
 
 def valid_artifact(artifact: Any, experiment: Optional[str] = None) -> bool:
-    """Whether a value (e.g. loaded from disk) is a usable artifact."""
+    """Whether a value (e.g. loaded from disk) is a usable artifact.
+
+    Accepts the stored frame-native schema (v2, validated down to each
+    frame's columnar payload) and the rendered legacy layout (v1), so
+    artifacts re-read from an emitted manifest still validate.
+    """
     if not isinstance(artifact, dict):
         return False
-    if artifact.get("schema") != ARTIFACT_SCHEMA_VERSION:
+    schema = artifact.get("schema")
+    if schema not in (RENDERED_SCHEMA_VERSION, ARTIFACT_SCHEMA_VERSION):
         return False
     if experiment is not None and artifact.get("experiment") != experiment:
         return False
@@ -151,6 +287,20 @@ def valid_artifact(artifact: Any, experiment: Optional[str] = None) -> bool:
             return False
         if not isinstance(table.get("rows"), list):
             return False
+    if schema == ARTIFACT_SCHEMA_VERSION:
+        from repro.api.frame import ResultFrame
+
+        frames = artifact.get("frames")
+        if not isinstance(frames, dict) or not isinstance(
+            artifact.get("payload"), list
+        ):
+            return False
+        for payload in frames.values():
+            try:
+                ResultFrame.from_payload(payload)
+            except ValueError:
+                return False
+        return True
     return "payload" in artifact
 
 
@@ -159,10 +309,12 @@ def write_artifact_json(artifact: Dict[str, Any], path: str) -> None:
 
     The serialization is deterministic for a given artifact (insertion
     order is preserved by both ``json.dump`` and a disk-store round
-    trip), so cold and store-served runs emit identical bytes.
+    trip), so cold and store-served runs emit identical bytes.  v2
+    (frame-native) artifacts are lowered to the historical v1 layout
+    first via :func:`rendered_artifact`.
     """
     with open(path, "w", encoding="utf-8") as stream:
-        json.dump(artifact, stream, indent=2)
+        json.dump(rendered_artifact(artifact), stream, indent=2)
         stream.write("\n")
 
 

@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.exec.journal import journal_for_scope, journal_scope
 from repro.results.artifacts import (
-    build_artifact,
+    build_frame_artifact,
     ensure_directory,
     write_artifact_csv,
     write_artifact_json,
@@ -118,6 +118,35 @@ class ExperimentOutcome:
         from repro.api.frame import artifact_frames
 
         return artifact_frames(self.artifact)
+
+    def stored_frames(self) -> "Dict[str, Any]":
+        """The artifact's stored payload frames, by name.
+
+        These are the canonical columnar payloads (v2 artifacts store
+        one versioned frame per logical table); every frame supports
+        ``select()``/``column()`` slicing without driver code.
+        """
+        from repro.api.frame import ResultFrame
+
+        return {
+            name: ResultFrame.from_payload(payload)
+            for name, payload in (self.artifact.get("frames") or {}).items()
+        }
+
+    def stored_frame(self, name: Optional[str] = None):
+        """One stored payload frame (default: the artifact's primary)."""
+        from repro.api.frame import ResultFrame
+
+        frames = self.artifact.get("frames") or {}
+        if name is None:
+            name = self.artifact.get("primary")
+        if name not in frames:
+            known = ", ".join(frames) or "none"
+            raise KeyError(
+                f"experiment {self.name!r} has no stored frame {name!r} "
+                f"(stored: {known})"
+            )
+        return ResultFrame.from_payload(frames[name])
 
 
 @dataclass
@@ -266,7 +295,9 @@ def run_experiments(
                 result = spec.runner(
                     **_runner_kwargs(spec, config, run_parallel, processes)
                 )
-        artifact = build_artifact(spec.name, spec.title, spec.tables(result), result)
+        artifact = build_frame_artifact(
+            spec.name, spec.title, spec.tables(result), result
+        )
         if use_store:
             store_result(key, artifact)
             journal = journal_for_scope(key)

@@ -30,6 +30,7 @@ import threading
 from typing import Any, Dict, Mapping, Optional, Sequence
 
 from repro.api import runtime_config
+from repro.api.frame import FRAME_SCHEMA_VERSION
 from repro.results.artifacts import ARTIFACT_SCHEMA_VERSION, valid_artifact
 from repro.workloads.trace_cache import TRACE_CACHE_VERSION, register_stats_provider
 
@@ -146,6 +147,7 @@ def result_key(
         "versions": {
             "artifact_schema": ARTIFACT_SCHEMA_VERSION,
             "code": code_fingerprint(),
+            "frame_schema": FRAME_SCHEMA_VERSION,
             "result_store": RESULT_STORE_VERSION,
             "trace_cache": TRACE_CACHE_VERSION,
         },

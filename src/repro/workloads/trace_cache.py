@@ -8,14 +8,13 @@ seed)`` exists per process, regardless of which driver asked first.
 
 The cache lives in the workloads layer -- below both ``experiments``
 and ``uarch`` -- precisely so the micro-architecture simulator can use
-it without a layering cycle; :mod:`repro.experiments.common` re-exports
-the public functions for backward compatibility.
+it without a layering cycle.
 
 Set the ``REPRO_TRACE_CACHE_DIR`` environment variable to also persist
 trace columns on disk as ``.npz`` files, so separate driver *processes*
 (each CLI invocation is one, as is every ``--parallel`` worker) share
-traces too.  Parallel sweeps (:func:`repro.experiments.common.run_sweep`
-with ``run_parallel=True``) enable the disk layer automatically under a
+traces too.  Parallel sweeps (:meth:`repro.api.session.Session.map`
+under a parallel config) enable the disk layer automatically under a
 per-user cache directory (``$XDG_CACHE_HOME/repro-frontend/traces``,
 falling back to ``~/.cache``); set the variable to an explicit path to
 relocate it, or to one of ``""``/``none``/``off``/``0`` to disable the

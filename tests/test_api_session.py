@@ -8,7 +8,7 @@ import pytest
 from repro.api import ResultFrame, RuntimeConfig, Session, current_session, default_session
 from repro.api.frame import artifact_frames, write_frames_csv
 from repro.experiments import run_fig06, tables_fig06
-from repro.experiments.common import run_sweep, workload_trace
+from repro.workloads.trace_cache import workload_trace
 from repro.frontend.configs import BASELINE_FRONTEND, TAILORED_FRONTEND
 from repro.frontend.simulation import simulate_frontend
 from repro.results.artifacts import build_artifact, block, write_artifact_csv
@@ -155,6 +155,43 @@ class TestSessionConfig:
         with session.activate():
             assert current_session() is session
         assert current_session() is default_session()
+
+    def test_cache_namespace_isolates_concurrent_sessions_on_disk(self, tmp_path):
+        """Two namespaced sessions sharing cache roots never collide:
+        the trace cache and the result store each land in a per-
+        namespace subdirectory."""
+        from repro.results.store import clear_result_store, store_result
+
+        traces_root = tmp_path / "traces"
+        results_root = tmp_path / "results"
+        written = {}
+        for namespace in ("alpha", "beta"):
+            clear_trace_cache()
+            clear_result_store()
+            session = Session(
+                instructions=INSTRUCTIONS,
+                trace_cache_dir=str(traces_root),
+                result_cache_dir=str(results_root),
+                cache_namespace=namespace,
+            )
+            assert session.config.cache_namespace == namespace
+            with session.activate():
+                workload_trace(get_workload("FT"), INSTRUCTIONS)
+                store_result("0" * 64, {"schema": 1, "payload": {}, "tables": []})
+            written[namespace] = {
+                "traces": sorted(p.name for p in (traces_root / namespace).iterdir()),
+                "results": sorted(
+                    p.name for p in (results_root / namespace).iterdir()
+                ),
+            }
+        clear_trace_cache()
+        clear_result_store()
+        for namespace, files in written.items():
+            assert files["traces"], namespace
+            assert files["results"], namespace
+        # Nothing leaked into the shared roots themselves.
+        assert sorted(p.name for p in traces_root.iterdir()) == ["alpha", "beta"]
+        assert sorted(p.name for p in results_root.iterdir()) == ["alpha", "beta"]
 
 
 class TestSessionPipeline:
@@ -402,19 +439,26 @@ class TestCliSession:
         assert captured["config"].instructions == 20000
 
 
-class TestLegacyShims:
-    def test_run_sweep_delegates_to_default_session(self):
-        specs = [get_workload("FT"), get_workload("LU")]
-        arguments = [(spec, INSTRUCTIONS) for spec in specs]
-        rows = run_sweep(_shim_worker, arguments)
-        assert rows == [_shim_worker(args) for args in arguments]
+class TestLegacyShimsRemoved:
+    def test_common_no_longer_exports_sweep_shims(self):
+        """The deprecation cycle is complete: the shims are gone."""
+        import repro.experiments.common as common
 
-    def test_run_sweep_parallel_matches_serial(self, monkeypatch, tmp_path):
+        assert not hasattr(common, "run_sweep")
+        assert not hasattr(common, "workload_trace")
+        assert "run_sweep" not in common.__all__
+        assert "workload_trace" not in common.__all__
+
+    def test_session_map_covers_the_old_run_sweep_contract(self, monkeypatch, tmp_path):
+        """Session.map is the replacement: serial == parallel rows."""
         monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
         specs = [get_workload("FT"), get_workload("LU")]
         arguments = [(spec, INSTRUCTIONS) for spec in specs]
-        serial = run_sweep(_shim_worker, arguments)
-        parallel = run_sweep(_shim_worker, arguments, run_parallel=True, processes=2)
+        serial = default_session().map(_shim_worker, arguments)
+        parallel = default_session().map(
+            _shim_worker, arguments, parallel=True, processes=2
+        )
+        assert serial == [_shim_worker(args) for args in arguments]
         assert serial == parallel
 
 

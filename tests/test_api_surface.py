@@ -50,6 +50,7 @@ class TestPublicSurface:
             "REPRO_ITEM_TIMEOUT",
             "REPRO_RETRY_DELAY",
             "REPRO_FAULT_PLAN",
+            "REPRO_CACHE_NAMESPACE",
         )
 
     def test_runtime_config_fields_are_pinned(self):
@@ -68,6 +69,7 @@ class TestPublicSurface:
             ("item_timeout", None),
             ("retry_delay", 0.05),
             ("fault_plan", None),
+            ("cache_namespace", None),
         ]
 
     def test_session_method_signatures(self):

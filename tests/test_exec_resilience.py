@@ -433,39 +433,39 @@ class TestFaultPlans:
         assert np.array_equal(recovered.target_column, reference.target_column)
 
 
-class TestDeprecations:
-    def test_run_sweep_warns_and_matches_session_map(self):
+class TestShimsRemoved:
+    """The deprecation cycle is complete: the module-level shims are gone."""
+
+    def test_run_sweep_and_workload_trace_removed_from_common(self):
+        import repro.experiments.common as common
+
+        assert not hasattr(common, "run_sweep")
+        assert not hasattr(common, "workload_trace")
+
+    def test_canonical_homes_still_serve_the_replacements(self):
         from repro.api import default_session
-        from repro.experiments.common import run_sweep
-
-        with pytest.warns(DeprecationWarning, match="Session.map"):
-            legacy = run_sweep(_square, ITEMS)
-        assert legacy == default_session().map(_square, ITEMS)
-
-    def test_workload_trace_warns_and_matches_trace_cache(self):
-        from repro.experiments.common import workload_trace as legacy_trace
         from repro.workloads import get_workload
         from repro.workloads.trace_cache import workload_trace
 
+        assert default_session().map(_square, ITEMS) == [
+            _square(item) for item in ITEMS
+        ]
         spec = get_workload("FT")
-        with pytest.warns(DeprecationWarning, match="trace_cache.workload_trace"):
-            legacy = legacy_trace(spec, 2_000)
-        # The process-wide cache guarantees the strongest equivalence:
-        # the shim returns the very same trace object.
-        assert legacy is workload_trace(spec, 2_000)
+        # The process-wide cache returns the very same trace object.
+        assert workload_trace(spec, 2_000) is workload_trace(spec, 2_000)
 
-    def test_package_level_simulate_frontend_warns(self):
+    def test_package_level_simulate_frontend_removed(self):
         import repro.frontend
-        from repro.frontend.simulation import simulate_frontend
+        from repro.frontend import simulation
 
-        with pytest.warns(DeprecationWarning, match="simulation.simulate_frontend"):
-            deprecated = repro.frontend.simulate_frontend
-        assert deprecated is simulate_frontend
-        with pytest.warns(DeprecationWarning):
-            many = repro.frontend.simulate_frontend_many
-        from repro.frontend.simulation import simulate_frontend_many
-
-        assert many is simulate_frontend_many
+        with pytest.raises(AttributeError):
+            repro.frontend.simulate_frontend
+        with pytest.raises(AttributeError):
+            repro.frontend.simulate_frontend_many
+        assert "simulate_frontend" not in repro.frontend.__all__
+        # The engine itself stays importable from its canonical module.
+        assert callable(simulation.simulate_frontend)
+        assert callable(simulation.simulate_frontend_many)
 
     def test_unknown_frontend_attribute_still_raises(self):
         import repro.frontend

@@ -17,7 +17,7 @@ import pytest
 from repro.cli import main as cli_main
 from repro.experiments import clear_trace_cache, run_fig11, tables_fig11
 from repro.experiments.fig11_per_benchmark_time import SPEC as FIG11_SPEC
-from repro.results.artifacts import build_artifact
+from repro.results.artifacts import build_frame_artifact, rendered_artifact
 from repro.results.orchestrator import (
     experiment_key,
     get_spec,
@@ -92,14 +92,17 @@ class TestOrchestratedRuns:
         report = run_experiments(["fig10", "fig11"], instructions=TINY)
         assert report.outcome("fig10").status == "computed"
         assert report.outcome("fig11").status == "derived"
-        direct = build_artifact(
-            "fig11",
-            FIG11_SPEC.title,
-            tables_fig11(run_fig11(instructions=TINY)),
-            run_fig11(instructions=TINY),
+        result = run_fig11(instructions=TINY)
+        direct = build_frame_artifact(
+            "fig11", FIG11_SPEC.title, tables_fig11(result), result
         )
         derived = report.outcome("fig11").artifact
+        # Both the stored frame-native form and the rendered manifest
+        # layout are bit-identical to a direct computation.
         assert json.dumps(derived) == json.dumps(direct)
+        assert json.dumps(rendered_artifact(derived)) == json.dumps(
+            rendered_artifact(direct)
+        )
 
     def test_fig11_alone_computes_without_pulling_in_fig10(self):
         report = run_experiments(["fig11"], instructions=TINY)

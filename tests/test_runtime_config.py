@@ -249,7 +249,107 @@ class TestConfigBehaviour:
             "item_timeout",
             "retry_delay",
             "fault_plan",
+            "cache_namespace",
         }
+
+
+class TestCacheNamespace:
+    """One path component isolating concurrent sessions' disk caches."""
+
+    def test_precedence_and_normalization(self, monkeypatch):
+        monkeypatch.delenv(rc.CACHE_NAMESPACE_VARIABLE, raising=False)
+        assert rc.RuntimeConfig.from_environment().cache_namespace is None
+        monkeypatch.setenv(rc.CACHE_NAMESPACE_VARIABLE, "ci-run-7")
+        assert rc.RuntimeConfig.from_environment().cache_namespace == "ci-run-7"
+        # Explicit beats the environment; blank means "no namespace".
+        config = rc.RuntimeConfig.from_environment(cache_namespace="mine")
+        assert config.cache_namespace == "mine"
+        assert (
+            rc.RuntimeConfig.from_environment(cache_namespace="  ").cache_namespace
+            is None
+        )
+        assert (
+            rc.RuntimeConfig.from_environment(cache_namespace=None).cache_namespace
+            is None
+        )
+
+    def test_explicit_invalid_namespace_raises(self):
+        for bad in ("a/b", "a\\b", "..", "."):
+            with pytest.raises(ValueError):
+                rc.RuntimeConfig(cache_namespace=bad)
+
+    def test_invalid_environment_namespace_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(rc.CACHE_NAMESPACE_VARIABLE, "../escape")
+        assert rc.RuntimeConfig.from_environment().cache_namespace is None
+
+    def test_namespace_stays_out_of_semantic(self):
+        # The namespace relocates cache files; it cannot change numbers,
+        # so it must not invalidate content-addressed results.
+        config = rc.RuntimeConfig(cache_namespace="elsewhere")
+        assert config.semantic() == rc.RuntimeConfig().semantic()
+
+    def test_accessors_join_the_namespace(self, monkeypatch, tmp_path):
+        import os
+
+        config = rc.RuntimeConfig(
+            trace_cache_dir=str(tmp_path / "traces"),
+            result_cache_dir=str(tmp_path / "results"),
+            cache_namespace="ns",
+        )
+        with rc.activated(config):
+            assert rc.current_trace_cache_dir() == os.path.join(
+                str(tmp_path / "traces"), "ns"
+            )
+            assert rc.current_result_cache_dir() == os.path.join(
+                str(tmp_path / "results"), "ns"
+            )
+        # Legacy mode joins the environment namespace the same way.
+        monkeypatch.setenv(rc.TRACE_CACHE_DIR_VARIABLE, str(tmp_path / "traces"))
+        monkeypatch.setenv(rc.RESULT_CACHE_DIR_VARIABLE, str(tmp_path / "results"))
+        monkeypatch.setenv(rc.CACHE_NAMESPACE_VARIABLE, "env-ns")
+        assert rc.current_trace_cache_dir() == os.path.join(
+            str(tmp_path / "traces"), "env-ns"
+        )
+        assert rc.current_result_cache_dir() == os.path.join(
+            str(tmp_path / "results"), "env-ns"
+        )
+        # A namespace without an enabled disk layer stays disabled.
+        monkeypatch.setenv(rc.TRACE_CACHE_DIR_VARIABLE, "none")
+        assert rc.current_trace_cache_dir() is None
+
+    def test_two_namespaces_resolve_to_distinct_paths(self, tmp_path):
+        shared = str(tmp_path / "shared")
+        first = rc.RuntimeConfig(trace_cache_dir=shared, cache_namespace="a")
+        second = rc.RuntimeConfig(trace_cache_dir=shared, cache_namespace="b")
+        with rc.activated(first):
+            dir_a = rc.current_trace_cache_dir()
+        with rc.activated(second):
+            dir_b = rc.current_trace_cache_dir()
+        assert dir_a != dir_b
+        assert dir_a.startswith(shared) and dir_b.startswith(shared)
+
+    def test_worker_environment_exports_namespaced_dir_once(
+        self, monkeypatch, tmp_path
+    ):
+        import os
+
+        monkeypatch.setenv(rc.CACHE_NAMESPACE_VARIABLE, "parent-ns")
+        config = rc.RuntimeConfig(
+            trace_cache_dir=str(tmp_path / "traces"), cache_namespace="ns"
+        )
+        with rc.worker_environment(config):
+            # The exported directory is already namespaced, and the
+            # namespace variable is blanked so workers (which resolve it
+            # in legacy mode) cannot join it a second time.
+            assert rc.read_environment(rc.TRACE_CACHE_DIR_VARIABLE) == os.path.join(
+                str(tmp_path / "traces"), "ns"
+            )
+            assert rc.read_environment(rc.CACHE_NAMESPACE_VARIABLE) == ""
+            assert rc.current_trace_cache_dir() == os.path.join(
+                str(tmp_path / "traces"), "ns"
+            )
+        # The parent's own namespace setting is restored afterwards.
+        assert rc.read_environment(rc.CACHE_NAMESPACE_VARIABLE) == "parent-ns"
 
 
 class TestActivation:
