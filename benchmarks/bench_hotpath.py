@@ -19,6 +19,7 @@ import json
 import pytest
 
 from repro.api.frame import ResultFrame
+from repro.exec import ExecutionSettings, QueueWorker, enqueue_campaign
 from repro.frontend.configs import BASELINE_FRONTEND
 from repro.frontend.simulation import simulate_frontend
 from repro.power import evaluate_cmp_energy
@@ -149,6 +150,33 @@ def test_section_v_stack(benchmark, instructions):
     results = benchmark(stack)
     assert len(results) == len(STANDARD_CMP_CONFIGS)
     assert all(result.energy_j > 0 for result in results)
+
+
+def _queue_identity(args):
+    return args
+
+
+def test_queue_item_cycle(benchmark, tmp_path):
+    """Per-item overhead of the durable work-queue executor.
+
+    Times the full queue lifecycle -- campaign enqueue to disk, lease
+    claim, heartbeat start/stop, first-writer-wins publication, item
+    retirement -- for a 64-item campaign drained by one in-process
+    ``QueueWorker``.  The worker body is an identity function, so this
+    is pure executor overhead: the price ``--executor queue`` adds per
+    item over the in-process supervised pool.
+    """
+    items = [(index, float(index)) for index in range(64)]
+    settings = ExecutionSettings()
+    rounds = iter(range(1_000))
+
+    def cycle():
+        queue_dir = str(tmp_path / f"queue-{next(rounds)}")
+        campaign = enqueue_campaign(_queue_identity, items, settings, queue_dir)
+        return QueueWorker(campaign).drain()
+
+    resolved = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert resolved == len(items)
 
 
 def test_frame_payload_round_trip(benchmark):

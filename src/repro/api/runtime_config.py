@@ -81,6 +81,21 @@ FAULT_PLAN_VARIABLE = "REPRO_FAULT_PLAN"
 #: cannot collide (unset/blank: no namespace).
 CACHE_NAMESPACE_VARIABLE = "REPRO_CACHE_NAMESPACE"
 
+#: Environment variable naming the durable work-queue directory used by
+#: the ``queue`` executor (unset/``none``: a private per-campaign
+#: temporary directory; a shared path is what lets external workers
+#: cooperate on the same campaign).
+QUEUE_DIR_VARIABLE = "REPRO_QUEUE_DIR"
+
+#: Environment variable fixing the queue lease time-to-live in seconds:
+#: how long a claimed item's heartbeat may go silent before the reaper
+#: reclaims it from a presumed-dead worker.
+LEASE_TTL_VARIABLE = "REPRO_LEASE_TTL"
+
+#: Environment variable fixing the queue heartbeat renewal interval in
+#: seconds (must be smaller than the lease TTL).
+HEARTBEAT_INTERVAL_VARIABLE = "REPRO_HEARTBEAT_INTERVAL"
+
 #: Every environment variable the runtime honours, in documentation
 #: order.  The API-surface test pins this tuple: growing it is an API
 #: change.
@@ -97,6 +112,9 @@ ENVIRONMENT_VARIABLES: Tuple[str, ...] = (
     RETRY_DELAY_VARIABLE,
     FAULT_PLAN_VARIABLE,
     CACHE_NAMESPACE_VARIABLE,
+    QUEUE_DIR_VARIABLE,
+    LEASE_TTL_VARIABLE,
+    HEARTBEAT_INTERVAL_VARIABLE,
 )
 
 #: Default dynamic trace length used by the profiling layers.  Scaled
@@ -118,6 +136,15 @@ DEFAULT_RETRIES = 2
 
 #: Default base backoff delay between retries, in seconds.
 DEFAULT_RETRY_DELAY = 0.05
+
+#: Default queue lease time-to-live, in seconds.  Generous on purpose:
+#: a reclaim re-runs the item, so false positives (a live worker merely
+#: stalled past the TTL) cost duplicated work, while a true dead worker
+#: only delays its items by the TTL.
+DEFAULT_LEASE_TTL = 30.0
+
+#: Default queue heartbeat renewal interval, in seconds.
+DEFAULT_HEARTBEAT_INTERVAL = 5.0
 
 #: The recognised trace engines.
 TRACE_ENGINES = ("compiled", "reference")
@@ -312,6 +339,14 @@ class RuntimeConfig:
     #: Cache namespace: one path component appended to both disk-cache
     #: directories, isolating concurrent sessions (``None``: none).
     cache_namespace: Optional[str] = None
+    #: Durable work-queue directory for the ``queue`` executor
+    #: (``None``: a private per-campaign temporary directory).
+    queue_dir: Optional[str] = None
+    #: Queue lease time-to-live in seconds: heartbeat silence beyond
+    #: this and the reaper reclaims the item.
+    lease_ttl: float = DEFAULT_LEASE_TTL
+    #: Queue heartbeat renewal interval in seconds (< ``lease_ttl``).
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -328,17 +363,48 @@ class RuntimeConfig:
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         timeout = self.item_timeout
-        if timeout is not None and float(timeout) <= 0:
-            timeout = None
-        object.__setattr__(
-            self, "item_timeout", None if timeout is None else float(timeout)
-        )
-        object.__setattr__(self, "retry_delay", max(0.0, float(self.retry_delay)))
+        if timeout is not None:
+            timeout = float(timeout)
+            if timeout <= 0:
+                raise ValueError(
+                    f"item_timeout must be positive (or None for unlimited), "
+                    f"got {self.item_timeout!r}"
+                )
+        object.__setattr__(self, "item_timeout", timeout)
+        retry_delay = float(self.retry_delay)
+        if retry_delay <= 0:
+            raise ValueError(
+                f"retry_delay must be positive, got {self.retry_delay!r}"
+            )
+        object.__setattr__(self, "retry_delay", retry_delay)
         object.__setattr__(
             self,
             "cache_namespace",
             normalize_cache_namespace(self.cache_namespace, strict=True),
         )
+        object.__setattr__(self, "queue_dir", normalize_cache_dir(self.queue_dir))
+        lease_ttl = float(self.lease_ttl)
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be positive, got {self.lease_ttl!r}")
+        heartbeat = float(self.heartbeat_interval)
+        if heartbeat <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, "
+                f"got {self.heartbeat_interval!r}"
+            )
+        if heartbeat >= lease_ttl:
+            if heartbeat == DEFAULT_HEARTBEAT_INTERVAL:
+                # An untouched default heartbeat scales with a lowered
+                # TTL (same ratio as the defaults) instead of raising on
+                # a construction that only named the TTL.
+                heartbeat = lease_ttl * (DEFAULT_HEARTBEAT_INTERVAL / DEFAULT_LEASE_TTL)
+            else:
+                raise ValueError(
+                    f"heartbeat_interval ({self.heartbeat_interval!r}) must be "
+                    f"smaller than lease_ttl ({self.lease_ttl!r})"
+                )
+        object.__setattr__(self, "lease_ttl", lease_ttl)
+        object.__setattr__(self, "heartbeat_interval", heartbeat)
 
     @classmethod
     def from_environment(
@@ -356,6 +422,9 @@ class RuntimeConfig:
         retry_delay: Union[float, Any] = _UNSET,
         fault_plan: Union[str, None, Any] = _UNSET,
         cache_namespace: Union[str, None, Any] = _UNSET,
+        queue_dir: Union[str, None, Any] = _UNSET,
+        lease_ttl: Union[float, Any] = _UNSET,
+        heartbeat_interval: Union[float, Any] = _UNSET,
     ) -> "RuntimeConfig":
         """Resolve a config with explicit > environment > default.
 
@@ -406,10 +475,14 @@ class RuntimeConfig:
         else:
             resolved_retries = int(retries)
         if item_timeout is _UNSET:
+            # Environment values stay lenient (the historical env-var
+            # contract): a non-positive timeout means "unlimited".
             item_timeout = _env_float(ITEM_TIMEOUT_VARIABLE, None)
+            if item_timeout is not None and item_timeout <= 0:
+                item_timeout = None
         if retry_delay is _UNSET:
             resolved_retry_delay = _env_float(RETRY_DELAY_VARIABLE, None)
-            if resolved_retry_delay is None:
+            if resolved_retry_delay is None or resolved_retry_delay <= 0:
                 resolved_retry_delay = DEFAULT_RETRY_DELAY
         else:
             resolved_retry_delay = float(retry_delay)
@@ -419,6 +492,28 @@ class RuntimeConfig:
             cache_namespace = normalize_cache_namespace(
                 read_environment(CACHE_NAMESPACE_VARIABLE)
             )
+        if queue_dir is _UNSET:
+            queue_dir = read_environment(QUEUE_DIR_VARIABLE)
+        lease_ttl_explicit = lease_ttl is not _UNSET
+        heartbeat_explicit = heartbeat_interval is not _UNSET
+        if not lease_ttl_explicit:
+            lease_ttl = _env_float(LEASE_TTL_VARIABLE, None)
+            if lease_ttl is None or lease_ttl <= 0:
+                lease_ttl = DEFAULT_LEASE_TTL
+        if not heartbeat_explicit:
+            heartbeat_interval = _env_float(HEARTBEAT_INTERVAL_VARIABLE, None)
+            if heartbeat_interval is None or heartbeat_interval <= 0:
+                heartbeat_interval = DEFAULT_HEARTBEAT_INTERVAL
+            if (
+                heartbeat_interval >= float(lease_ttl)
+                and heartbeat_interval != DEFAULT_HEARTBEAT_INTERVAL
+            ):
+                # An env-only conflicting pair falls back leniently to
+                # the default ratio; explicit arguments raise instead
+                # (validated at construction below).
+                heartbeat_interval = float(lease_ttl) * (
+                    DEFAULT_HEARTBEAT_INTERVAL / DEFAULT_LEASE_TTL
+                )
         return cls(
             trace_engine=resolved_engine,
             trace_cache_dir=normalize_cache_dir(trace_cache_dir),
@@ -432,6 +527,9 @@ class RuntimeConfig:
             retry_delay=resolved_retry_delay,
             fault_plan=fault_plan,
             cache_namespace=cache_namespace,
+            queue_dir=normalize_cache_dir(queue_dir),
+            lease_ttl=float(lease_ttl),
+            heartbeat_interval=float(heartbeat_interval),
         )
 
     def replace(self, **changes: Any) -> "RuntimeConfig":
@@ -596,6 +694,14 @@ def current_result_cache_dir() -> Optional[str]:
         normalize_cache_dir(read_environment(RESULT_CACHE_DIR_VARIABLE)),
         current_cache_namespace(),
     )
+
+
+def current_queue_dir() -> Optional[str]:
+    """Active work-queue directory, or ``None`` (ephemeral campaigns)."""
+    active = _ACTIVE.get()
+    if active is not None:
+        return active.queue_dir
+    return normalize_cache_dir(read_environment(QUEUE_DIR_VARIABLE))
 
 
 def semantic_runtime() -> Dict[str, Any]:

@@ -470,6 +470,9 @@ class Session:
             item_timeout=config.item_timeout,
             retry_delay=config.retry_delay,
             fault_plan=FaultPlan.from_spec(config.fault_plan),
+            queue_dir=config.queue_dir,
+            lease_ttl=config.lease_ttl,
+            heartbeat_interval=config.heartbeat_interval,
         )
         executor = exec_executors.resolve_executor(executor_name)
         with self._activated_as(config):

@@ -8,6 +8,8 @@ Usage::
     repro-frontend fig10 --parallel
     repro-frontend cmpsweep --scenarios core-scaling,l2-scaling
     repro-frontend all --smoke --parallel --out results/
+    repro-frontend all --executor queue --queue-dir /shared/queue
+    repro-frontend worker --queue-dir /shared/queue   # on any machine
 
 Every invocation constructs exactly one :class:`repro.api.Session`
 (its :class:`~repro.api.RuntimeConfig` resolved once from the flags
@@ -42,8 +44,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment to run: one of %s, 'all', or 'list'"
-        % ", ".join(sorted(registry_names())),
+        help="experiment to run: one of %s, 'all', 'list', or 'worker' "
+        "(serve a durable work queue)" % ", ".join(sorted(registry_names())),
     )
     parser.add_argument(
         "--instructions",
@@ -87,7 +89,24 @@ def _build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="sweep executor: 'auto' (default), 'serial', 'processes', "
-        "or a 'module:attribute' entry point (REPRO_EXECUTOR)",
+        "'queue' (durable work queue), or a 'module:attribute' entry "
+        "point (REPRO_EXECUTOR)",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="durable work-queue directory for the 'queue' executor and "
+        "the 'worker' command (REPRO_QUEUE_DIR)",
+    )
+    parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="'worker' only: exit after the queue has been idle this "
+        "long (default 30)",
     )
     parser.add_argument(
         "--scenarios",
@@ -174,6 +193,30 @@ def main(argv: Optional[list] = None) -> int:
             print(name)
         return 0
 
+    if args.experiment == "worker":
+        # A cooperating queue worker: claims items from campaigns under
+        # the queue directory until the queue stays idle.  Any number
+        # may run, on any machine that mounts the directory; a worker
+        # started after a crash resumes exactly where the queue stands.
+        from repro.api import runtime_config
+        from repro.exec.queue import serve_queue
+
+        queue_dir = args.queue_dir or runtime_config.current_queue_dir()
+        if queue_dir is None:
+            parser.error("'worker' requires --queue-dir (or REPRO_QUEUE_DIR)")
+        enable_shared_result_store()
+        enable_shared_cache()
+        counters = serve_queue(queue_dir, max_idle=args.max_idle)
+        print(
+            f"worker idle, exiting: {counters['completed']} completed, "
+            f"{counters['reclaims']} lease reclaims, "
+            f"{counters['duplicates']} duplicates, "
+            f"{counters['conflicts']} conflicts, "
+            f"{counters['poisoned']} poisoned",
+            file=sys.stderr,
+        )
+        return 0
+
     if args.experiment == "all":
         names = registry_names()
     elif args.experiment in registry_names():
@@ -220,6 +263,8 @@ def main(argv: Optional[list] = None) -> int:
         overrides["retries"] = args.retries
     if args.executor is not None:
         overrides["executor"] = args.executor
+    if args.queue_dir is not None:
+        overrides["queue_dir"] = args.queue_dir
     explicit_instructions = _resolve_instructions(args)
     if explicit_instructions is not None:
         overrides["instructions"] = explicit_instructions
@@ -330,6 +375,45 @@ def _report_experiment(outcome, before: Dict[str, Dict[str, int]]) -> None:
         f"{profiles.get('misses', 0)} misses",
         file=sys.stderr,
     )
+    # Execution-layer activity (sweep journal, queue leases, CAS):
+    # silent on a plain serial run, one extra line when anything moved.
+    journal = deltas.get("journal", {})
+    lease_counts = deltas.get("leases", {})
+    queue = deltas.get("queue", {})
+    extras = []
+    if any(journal.values()):
+        extras.append(
+            f"journal: {journal.get('records', 0)} records, "
+            f"{journal.get('replays', 0)} replays, "
+            f"{journal.get('quarantined', 0)} quarantined"
+        )
+    if any(lease_counts.values()):
+        extras.append(
+            f"leases: {lease_counts.get('acquired', 0)} acquired, "
+            f"{lease_counts.get('reclaimed', 0)} reclaimed, "
+            f"{lease_counts.get('lost', 0)} lost"
+        )
+    if any(queue.values()):
+        extras.append(
+            f"queue: {queue.get('enqueued', 0)} enqueued, "
+            f"{queue.get('completed', 0)} completed, "
+            f"{queue.get('reclaims', 0)} reclaims, "
+            f"{queue.get('duplicates', 0)} duplicates, "
+            f"{queue.get('conflicts', 0)} conflicts, "
+            f"{queue.get('poisoned', 0)} poisoned"
+        )
+    cas = {
+        key: results.get(key, 0)
+        for key in ("cas_stores", "cas_identical", "cas_conflicts")
+    }
+    if any(cas.values()):
+        extras.append(
+            f"result CAS: {cas['cas_stores']} stored, "
+            f"{cas['cas_identical']} identical, "
+            f"{cas['cas_conflicts']} conflicts"
+        )
+    if extras:
+        print(f"[{outcome.name}] " + "; ".join(extras), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,12 +16,20 @@ its weakest worker" into supervised, resumable, testable execution:
     sweep resumes replaying only the missing items.
 :class:`FaultPlan`
     Deterministic fault injection (worker kills, transient exceptions,
-    hangs, cache truncation) at exact item indices, so every
-    robustness claim above is asserted by tests rather than trusted.
+    hangs, cache truncation, stale leases, double claims) at exact
+    item indices, so every robustness claim above is asserted by tests
+    rather than trusted.
+:class:`QueueExecutor`
+    The durable filesystem work queue (``executor = "queue"``): items
+    claimed via heartbeat leases by any number of cooperating worker
+    processes -- local or started on other machines with
+    ``repro-frontend worker`` -- with stale-lease reclaim,
+    first-writer-wins completion, and poison-item quarantine.
 """
 
 from repro.exec.executors import (
     ExecutionSettings,
+    ExecutionSettingsError,
     Executor,
     SerialExecutor,
     SupervisedProcessExecutor,
@@ -45,6 +53,14 @@ from repro.exec.journal import (
     journal_scope,
     quarantine_entry,
 )
+from repro.exec.queue import (
+    QueueExecutor,
+    QueueWorker,
+    enqueue_campaign,
+    open_campaign,
+    queue_info,
+    serve_queue,
+)
 from repro.exec.results import (
     ITEM_STATUSES,
     ItemResult,
@@ -54,12 +70,15 @@ from repro.exec.results import (
 
 __all__ = [
     "ExecutionSettings",
+    "ExecutionSettingsError",
     "Executor",
     "Fault",
     "FaultPlan",
     "InjectedFault",
     "ITEM_STATUSES",
     "ItemResult",
+    "QueueExecutor",
+    "QueueWorker",
     "SerialExecutor",
     "SimulatedWorkerDeath",
     "SupervisedProcessExecutor",
@@ -67,13 +86,17 @@ __all__ = [
     "SweepJournal",
     "SweepReport",
     "active_journal_scope",
+    "enqueue_campaign",
     "execute_items",
     "executor_names",
     "item_key",
     "journal_for_scope",
     "journal_info",
     "journal_scope",
+    "open_campaign",
     "quarantine_entry",
+    "queue_info",
     "register_executor",
     "resolve_executor",
+    "serve_queue",
 ]

@@ -60,6 +60,15 @@ SUPERVISOR_TICK = 0.05
 RunOutcome = namedtuple("RunOutcome", ["results", "degraded"])
 
 
+class ExecutionSettingsError(ValueError):
+    """An :class:`ExecutionSettings` knob is out of range.
+
+    Raised at construction -- zero or negative timeouts, delays, and
+    lease intervals used to slip through and misbehave deep inside a
+    sweep; now they fail fast with a typed error.
+    """
+
+
 @dataclass(frozen=True)
 class ExecutionSettings:
     """Everything an executor needs beyond the worker and its items."""
@@ -76,6 +85,42 @@ class ExecutionSettings:
     retry_delay: float = 0.05
     #: Deterministic fault plan injected into workers (tests/chaos).
     fault_plan: Optional[FaultPlan] = None
+    #: Durable work-queue directory (``queue`` executor; ``None``: a
+    #: private per-campaign temporary directory).
+    queue_dir: Optional[str] = None
+    #: Queue lease time-to-live in seconds (``queue`` executor).
+    lease_ttl: float = 30.0
+    #: Queue heartbeat renewal interval in seconds (< ``lease_ttl``).
+    heartbeat_interval: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ExecutionSettingsError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.item_timeout is not None and self.item_timeout <= 0:
+            raise ExecutionSettingsError(
+                f"item_timeout must be positive (or None for unlimited), "
+                f"got {self.item_timeout!r}"
+            )
+        if self.retry_delay <= 0:
+            raise ExecutionSettingsError(
+                f"retry_delay must be positive, got {self.retry_delay!r}"
+            )
+        if self.lease_ttl <= 0:
+            raise ExecutionSettingsError(
+                f"lease_ttl must be positive, got {self.lease_ttl!r}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ExecutionSettingsError(
+                f"heartbeat_interval must be positive, "
+                f"got {self.heartbeat_interval!r}"
+            )
+        if self.heartbeat_interval >= self.lease_ttl:
+            raise ExecutionSettingsError(
+                f"heartbeat_interval ({self.heartbeat_interval!r}) must be "
+                f"smaller than lease_ttl ({self.lease_ttl!r})"
+            )
 
 
 def backoff_delay(settings: ExecutionSettings, index: int, attempt: int) -> float:

@@ -25,6 +25,24 @@ Fault kinds:
     The first (sorted) file matching ``target`` under the active trace
     cache or result store directory is cut in half -- the
     corrupt-entry quarantine path.
+
+Queue-specific kinds, interpreted by the durable work-queue machinery
+of :mod:`repro.exec.queue` (and ignored by :meth:`FaultPlan.fire`,
+which only handles the generic worker-side kinds above):
+
+``stale-lease``
+    The claiming worker backdates its own lease to the epoch and dies
+    hard -- the dead-worker-on-another-machine path the reaper must
+    reclaim.
+``double-claim``
+    The claiming worker deletes its own lease mid-item (as if it had
+    been reclaimed), sleeps ``seconds`` so a sibling can re-claim and
+    complete the item first, then publishes anyway -- the
+    first-writer-wins compare-and-swap path.
+``slow-heartbeat``
+    The worker pauses heartbeat renewal and stalls the item for
+    ``seconds`` -- long enough, with a short TTL, for the reaper to
+    reclaim an item whose worker is merely slow, not dead.
 """
 
 from __future__ import annotations
@@ -37,7 +55,19 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 #: The recognised fault kinds.
-FAULT_KINDS = ("kill", "raise", "hang", "truncate")
+FAULT_KINDS = (
+    "kill",
+    "raise",
+    "hang",
+    "truncate",
+    "stale-lease",
+    "double-claim",
+    "slow-heartbeat",
+)
+
+#: The kinds the queue machinery interprets itself (``FaultPlan.fire``
+#: skips them: they need a lease and a heartbeat to act on).
+QUEUE_FAULT_KINDS = ("stale-lease", "double-claim", "slow-heartbeat")
 
 #: Exit code of an injected worker kill (visible in process tables).
 KILL_EXIT_CODE = 87
@@ -95,7 +125,7 @@ class Fault:
             "index": self.index,
             "attempt": self.attempt,
         }
-        if self.kind == "hang":
+        if self.kind in ("hang", "double-claim", "slow-heartbeat"):
             entry["seconds"] = self.seconds
         if self.kind == "raise":
             entry["message"] = self.message
@@ -165,7 +195,10 @@ class FaultPlan:
 
         ``allow_exit`` distinguishes real worker processes (which die
         via ``os._exit``) from in-process execution (which raises
-        :class:`SimulatedWorkerDeath` so the host survives).
+        :class:`SimulatedWorkerDeath` so the host survives).  The
+        queue-specific kinds (:data:`QUEUE_FAULT_KINDS`) are skipped
+        here: they act on a lease and a heartbeat, which only the queue
+        worker loop holds.
         """
         for fault in self.at(index, attempt):
             if fault.kind == "truncate":

@@ -1,0 +1,1042 @@
+"""Durable filesystem work queue: the distributed sweep backend.
+
+A campaign is enqueued as one item file per work unit under a campaign
+directory; any number of cooperating worker processes -- spawned by the
+supervising :class:`QueueExecutor` or started externally on any machine
+that mounts the queue directory (``repro-frontend worker --queue-dir``)
+-- claim items with lease files, renew heartbeats while running, and
+publish results with first-writer-wins compare-and-swap.  Everything is
+plain files and atomic renames: no broker, no sockets, no locks a dead
+worker could wedge.
+
+On-disk layout of one campaign::
+
+    <queue_dir>/campaign-<digest>/
+        campaign.json            # worker ref, totals, execution knobs
+        items/<name>.item        # one pending work unit (pickle)
+        leases/<name>.lease      # the claim + heartbeat of one item
+        done/<name>.result       # the published outcome (pickle)
+        done/<name>.conflict*    # quarantined conflicting publications
+        deaths/<name>            # append-only per-item failure ledger
+        poison/<name>.json       # typed report of a quarantined item
+
+Robustness properties, each deterministically testable through the
+``stale-lease`` / ``double-claim`` / ``slow-heartbeat`` fault kinds of
+:mod:`repro.exec.faults`:
+
+* A worker SIGKILLed mid-item leaves a lease that stops heartbeating;
+  the reaper (every worker and the supervisor run one) reclaims it and
+  the item is retried -- instantly when the dead pid is local, after
+  the lease TTL otherwise.
+* Double completion (a reclaimed-but-alive worker finishing anyway) is
+  resolved first-writer-wins: the loser's identical publication counts
+  as a duplicate, a *different* one is quarantined as ``.conflict``
+  evidence and counted, never silently clobbered.
+* An item whose worker dies more often than the retry budget is moved
+  to ``poison/`` with a typed report and published as a ``poison``
+  result, so one bad item can never wedge a campaign.
+* The campaign directory is content-addressed from the item keys, so a
+  killed supervisor resumed from *any* process re-derives the same
+  campaign, replays the published results, and re-runs only what is
+  missing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec import leases
+from repro.exec.executors import (
+    ExecutionSettings,
+    Executor,
+    RunOutcome,
+    _notify,
+    register_executor,
+)
+from repro.exec.faults import (
+    QUEUE_FAULT_KINDS,
+    FaultPlan,
+    KILL_EXIT_CODE,
+    SimulatedWorkerDeath,
+)
+from repro.exec.journal import item_key, quarantine_entry
+from repro.exec.results import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_POISON,
+    STATUS_REPLAYED,
+    ItemResult,
+    describe_exception,
+)
+
+#: How often the supervisor and idle workers rescan the queue.
+QUEUE_POLL = 0.05
+
+#: Campaign directory name prefix (content-addressed suffix).
+CAMPAIGN_PREFIX = "campaign-"
+
+#: File names inside one campaign directory.
+CAMPAIGN_FILE = "campaign.json"
+ITEMS_DIR = "items"
+LEASES_DIR = "leases"
+DONE_DIR = "done"
+DEATHS_DIR = "deaths"
+POISON_DIR = "poison"
+ITEM_SUFFIX = ".item"
+LEASE_SUFFIX = ".lease"
+RESULT_SUFFIX = ".result"
+
+_STATS = {
+    "enqueued": 0,
+    "replayed": 0,
+    "completed": 0,
+    "duplicates": 0,
+    "conflicts": 0,
+    "reclaims": 0,
+    "errors": 0,
+    "poisoned": 0,
+}
+_STATS_LOCK = threading.Lock()
+
+
+def _count(counter: str, amount: int = 1) -> None:
+    with _STATS_LOCK:
+        _STATS[counter] += amount
+
+
+def queue_info() -> Dict[str, int]:
+    """Process-wide queue counters (claims, reclaims, conflicts, ...)."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_queue_info() -> None:
+    """Zero the counters (tests)."""
+    with _STATS_LOCK:
+        for counter in _STATS:
+            _STATS[counter] = 0
+
+
+def worker_reference(worker: Callable) -> Optional[str]:
+    """An importable ``module:qualname`` ref, or ``None`` (local only).
+
+    External CLI workers resolve the campaign's worker by import; a
+    worker that is not module-level (closure, lambda) can still be run
+    by the supervisor's own spawned workers, which receive the callable
+    directly.
+    """
+    module = getattr(worker, "__module__", None)
+    qualname = getattr(worker, "__qualname__", "")
+    if not module or "<" in qualname or "." in qualname:
+        return None
+    return f"{module}:{qualname}"
+
+
+def resolve_worker_reference(reference: str) -> Callable:
+    """Import a campaign's worker back from its ``module:qualname``."""
+    module_name, _, qualname = reference.partition(":")
+    worker = getattr(importlib.import_module(module_name), qualname)
+    if not callable(worker):
+        raise TypeError(f"worker reference {reference!r} is not callable")
+    return worker
+
+
+def _item_name(index: int, key: str) -> str:
+    return f"{index:06d}-{key[:12]}"
+
+
+def _item_index(name: str) -> int:
+    return int(name.split("-", 1)[0])
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    handle, temporary = tempfile.mkstemp(suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+        os.replace(temporary, path)
+    except OSError:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class Campaign:
+    """One enqueued sweep: its directory, item names, and knobs."""
+
+    root: str
+    names: List[str]
+    worker: Optional[Callable]
+    settings: ExecutionSettings
+
+    @property
+    def items_dir(self) -> str:
+        return os.path.join(self.root, ITEMS_DIR)
+
+    @property
+    def leases_dir(self) -> str:
+        return os.path.join(self.root, LEASES_DIR)
+
+    @property
+    def done_dir(self) -> str:
+        return os.path.join(self.root, DONE_DIR)
+
+    @property
+    def deaths_dir(self) -> str:
+        return os.path.join(self.root, DEATHS_DIR)
+
+    @property
+    def poison_dir(self) -> str:
+        return os.path.join(self.root, POISON_DIR)
+
+    def item_path(self, name: str) -> str:
+        return os.path.join(self.items_dir, name + ITEM_SUFFIX)
+
+    def lease_path(self, name: str) -> str:
+        return os.path.join(self.leases_dir, name + LEASE_SUFFIX)
+
+    def result_path(self, name: str) -> str:
+        return os.path.join(self.done_dir, name + RESULT_SUFFIX)
+
+    def deaths_path(self, name: str) -> str:
+        return os.path.join(self.deaths_dir, name)
+
+    def poison_report_path(self, name: str) -> str:
+        return os.path.join(self.poison_dir, name + ".json")
+
+
+def campaign_digest(keys: Sequence[str]) -> str:
+    """Content address of a campaign: a digest of its item keys.
+
+    The item keys already fold in the worker's qualified name and every
+    argument, so the same sweep re-enqueued from any process (a resumed
+    supervisor included) derives the same campaign directory, and a
+    different sweep can never collide with it.
+    """
+    material = "\n".join(keys)
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+def _settings_wire(settings: ExecutionSettings) -> Dict[str, Any]:
+    return {
+        "retries": settings.retries,
+        "retry_delay": settings.retry_delay,
+        "lease_ttl": settings.lease_ttl,
+        "heartbeat_interval": settings.heartbeat_interval,
+        "fault_plan": (
+            settings.fault_plan.to_json() if settings.fault_plan is not None else None
+        ),
+    }
+
+
+def _settings_from_wire(wire: Dict[str, Any]) -> ExecutionSettings:
+    plan = wire.get("fault_plan")
+    return ExecutionSettings(
+        retries=int(wire.get("retries", 2)),
+        retry_delay=float(wire.get("retry_delay", 0.05)),
+        lease_ttl=float(wire.get("lease_ttl", 30.0)),
+        heartbeat_interval=float(wire.get("heartbeat_interval", 5.0)),
+        fault_plan=FaultPlan.from_json(plan) if plan else None,
+    )
+
+
+def enqueue_campaign(
+    worker: Callable,
+    items: Sequence[Tuple[int, Any]],
+    settings: ExecutionSettings,
+    queue_dir: str,
+) -> Campaign:
+    """Materialize a sweep as a campaign directory (idempotent).
+
+    Re-enqueueing the same sweep is a resume: item files are only
+    written for items without a published result, so completed work is
+    never re-opened.
+    """
+    keys = [item_key(worker, index, args) for index, args in items]
+    root = os.path.join(queue_dir, CAMPAIGN_PREFIX + campaign_digest(keys))
+    campaign = Campaign(
+        root=root,
+        names=[_item_name(index, key) for (index, _), key in zip(items, keys)],
+        worker=worker,
+        settings=settings,
+    )
+    for directory in (
+        campaign.items_dir,
+        campaign.leases_dir,
+        campaign.done_dir,
+        campaign.deaths_dir,
+        campaign.poison_dir,
+    ):
+        os.makedirs(directory, exist_ok=True)
+    manifest_path = os.path.join(root, CAMPAIGN_FILE)
+    if not os.path.exists(manifest_path):
+        manifest = {
+            "version": 1,
+            "worker": worker_reference(worker),
+            "total": len(campaign.names),
+            "settings": _settings_wire(settings),
+        }
+        _atomic_write(
+            manifest_path, json.dumps(manifest, sort_keys=True).encode("utf-8")
+        )
+    enqueued = 0
+    for (index, args), name in zip(items, campaign.names):
+        if os.path.exists(campaign.result_path(name)):
+            continue
+        item_path = campaign.item_path(name)
+        if not os.path.exists(item_path):
+            _atomic_write(
+                item_path,
+                pickle.dumps((index, args), protocol=pickle.HIGHEST_PROTOCOL),
+            )
+            enqueued += 1
+    _count("enqueued", enqueued)
+    return campaign
+
+
+def open_campaign(root: str, worker: Optional[Callable] = None) -> Campaign:
+    """Attach to an existing campaign directory (worker side).
+
+    The worker callable is resolved from the manifest's importable
+    reference unless one is handed in directly (the supervisor's own
+    spawned workers, which may hold a non-importable callable).
+    """
+    with open(os.path.join(root, CAMPAIGN_FILE), "r", encoding="utf-8") as stream:
+        manifest = json.load(stream)
+    if worker is None:
+        reference = manifest.get("worker")
+        if not reference:
+            raise ValueError(
+                f"campaign {root} has no importable worker reference; "
+                "only its own supervisor's workers can serve it"
+            )
+        worker = resolve_worker_reference(reference)
+    settings = _settings_from_wire(manifest.get("settings", {}))
+    names = []
+    for directory, suffix in (
+        (os.path.join(root, ITEMS_DIR), ITEM_SUFFIX),
+        (os.path.join(root, DONE_DIR), RESULT_SUFFIX),
+    ):
+        try:
+            entries = os.listdir(directory)
+        except OSError:
+            continue
+        names.extend(
+            entry[: -len(suffix)] for entry in entries if entry.endswith(suffix)
+        )
+    return Campaign(
+        root=root,
+        names=sorted(set(names)),
+        worker=worker,
+        settings=settings,
+    )
+
+
+def publish_result(campaign: Campaign, name: str, payload: Dict[str, Any]) -> str:
+    """Publish one item's outcome, first writer wins.
+
+    Returns ``"stored"`` (this writer won), ``"duplicate"`` (someone
+    already published identical bytes -- the benign double-completion),
+    or ``"conflict"`` (someone published *different* bytes: ours are
+    preserved as ``.conflict`` evidence and counted, the first writer's
+    verdict stands).
+    """
+    path = campaign.result_path(name)
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    # Hardlink publication: the payload is fully written to a temporary
+    # file and linked into place.  The link both fails atomically when a
+    # result already exists (the compare of the CAS) and can never show
+    # a reader a torn half-written result.
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    handle, temporary = tempfile.mkstemp(suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+        try:
+            os.link(temporary, path)
+        except FileExistsError:
+            try:
+                with open(path, "rb") as stream:
+                    existing = stream.read()
+            except OSError:
+                existing = b""
+            if existing == data:
+                _count("duplicates")
+                return "duplicate"
+            evidence = path + ".conflict"
+            attempt = 0
+            while os.path.exists(evidence):
+                attempt += 1
+                evidence = f"{path}.conflict.{attempt}"
+            try:
+                os.link(temporary, evidence)
+            except OSError:
+                pass
+            _count("conflicts")
+            return "conflict"
+        _count("completed")
+        return "stored"
+    finally:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+
+
+def load_published(campaign: Campaign, name: str) -> Optional[Dict[str, Any]]:
+    """Read one published outcome (corrupt entries are quarantined)."""
+    path = campaign.result_path(name)
+    try:
+        with open(path, "rb") as stream:
+            return pickle.load(stream)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        quarantine_entry(path)
+        return None
+
+
+def _record_death(campaign: Campaign, name: str, kind: str, detail: str) -> None:
+    """Append one line to an item's failure ledger (``kind detail``).
+
+    The ledger is strictly line-oriented (one line = one failure), so
+    the detail -- often a multi-line traceback -- is flattened.
+    """
+    path = campaign.deaths_path(name)
+    os.makedirs(campaign.deaths_dir, exist_ok=True)
+    flattened = " | ".join(part for part in detail.splitlines() if part.strip())
+    line = f"{kind} {flattened}\n".encode("utf-8")
+    with open(path, "ab") as stream:
+        stream.write(line)
+
+
+def _death_ledger(campaign: Campaign, name: str) -> List[str]:
+    try:
+        with open(campaign.deaths_path(name), "r", encoding="utf-8") as stream:
+            return [line.strip() for line in stream if line.strip()]
+    except OSError:
+        return []
+
+
+def _ledger_counts(ledger: Sequence[str]) -> Dict[str, int]:
+    counts = {"reclaim": 0, "death": 0, "error": 0}
+    for line in ledger:
+        kind = line.split(" ", 1)[0]
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+def poison_item(
+    campaign: Campaign, name: str, ledger: Sequence[str], last_owner: str
+) -> None:
+    """Quarantine an item that keeps killing its workers.
+
+    The item file moves to ``poison/``, a typed JSON report lands next
+    to it, and a ``poison`` result is published so the campaign
+    completes with a structured per-item failure instead of wedging on
+    an item nothing can finish.
+    """
+    counts = _ledger_counts(ledger)
+    report = {
+        "item": name,
+        "index": _item_index(name),
+        "reclaims": counts["reclaim"],
+        "worker_deaths": counts["death"],
+        "errors": counts["error"],
+        "retries": campaign.settings.retries,
+        "last_owner": last_owner,
+        "lease_ttl": campaign.settings.lease_ttl,
+        "ledger": list(ledger),
+    }
+    try:
+        _atomic_write(
+            campaign.poison_report_path(name),
+            json.dumps(report, sort_keys=True, indent=2).encode("utf-8"),
+        )
+    except OSError:
+        pass
+    item_path = campaign.item_path(name)
+    try:
+        os.replace(item_path, os.path.join(campaign.poison_dir, name + ITEM_SUFFIX))
+    except OSError:
+        try:
+            os.unlink(item_path)
+        except OSError:
+            pass
+    attempts = len(ledger)
+    payload = {
+        "index": _item_index(name),
+        "status": STATUS_POISON,
+        "value": None,
+        "error": (
+            f"poison item: its worker died {counts['reclaim'] + counts['death']} "
+            f"time(s) (retry budget {campaign.settings.retries}); quarantined "
+            f"with report {json.dumps(report, sort_keys=True)}"
+        ),
+        "attempts": attempts,
+    }
+    if publish_result(campaign, name, payload) == "stored":
+        _count("poisoned")
+
+
+#: Owner id planted by the ``stale-lease`` fault: a foreign host (so the
+#: same-host dead-pid fast path cannot shortcut the test) with a dead
+#: heartbeat, exercising exactly the worker-died-on-another-machine
+#: reclaim path.
+_FOREIGN_DEAD_OWNER = "elsewhere:0:stale"
+
+
+class _AbandonLease(SimulatedWorkerDeath):
+    """In-process stand-in for a death that leaves its lease behind."""
+
+
+class _Heartbeat(threading.Thread):
+    """Renews one lease on an interval until stopped (or paused)."""
+
+    def __init__(self, path: str, owner: str, interval: float, ttl: float) -> None:
+        super().__init__(daemon=True, name=f"lease-heartbeat:{os.path.basename(path)}")
+        self.path = path
+        self.owner = owner
+        self.interval = interval
+        self.ttl = ttl
+        self.seq = 0
+        self.lost = False
+        self._pause_until = 0.0
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            if time.monotonic() < self._pause_until:
+                continue  # A slow-heartbeat fault: skip renewals.
+            self.seq += 1
+            if not leases.renew(self.path, self.owner, self.seq, self.ttl):
+                self.lost = True
+                return
+
+    def pause(self, seconds: float) -> None:
+        self._pause_until = time.monotonic() + float(seconds)
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(timeout=2.0)
+
+
+class QueueWorker:
+    """One cooperating worker draining a campaign's items.
+
+    Claims items lease-first, runs them under a heartbeat, publishes
+    outcomes first-writer-wins, and doubles as a reaper for its
+    campaign.  ``parent_pid`` (supervisor-spawned workers) makes the
+    worker exit when its supervisor dies, so a SIGKILLed run never
+    leaves orphans silently draining the queue; external CLI workers
+    pass no parent and keep serving across supervisor restarts.
+    """
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        owner: Optional[str] = None,
+        allow_exit: bool = False,
+        parent_pid: Optional[int] = None,
+        poll: float = QUEUE_POLL,
+    ) -> None:
+        self.campaign = campaign
+        self.owner = owner or leases.new_owner_id()
+        self.allow_exit = allow_exit
+        self.parent_pid = parent_pid
+        self.poll = poll
+        self.reaper = leases.Reaper(campaign.settings.lease_ttl)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def parent_alive(self) -> bool:
+        if self.parent_pid is None:
+            return True
+        return leases._pid_alive(self.parent_pid)
+
+    def drain(self) -> int:
+        """Serve the campaign until it is fully resolved.
+
+        Returns the number of items this worker resolved.  Exits early
+        when the supervising parent dies (see class docstring).
+        """
+        resolved = 0
+        while self.parent_alive():
+            progressed, pending = self.step()
+            resolved += progressed
+            if pending == 0:
+                break
+            if progressed == 0:
+                time.sleep(self.poll)
+        return resolved
+
+    def step(self) -> Tuple[int, int]:
+        """One scan: claim/run/publish what we can, then reap.
+
+        Returns ``(items resolved by us, items still pending)``.
+        """
+        progressed = 0
+        pending = 0
+        try:
+            entries = sorted(os.listdir(self.campaign.items_dir))
+        except OSError:
+            return 0, 0  # The campaign directory is gone: drained.
+        for entry in entries:
+            if not entry.endswith(ITEM_SUFFIX):
+                continue
+            if not self.parent_alive():
+                return progressed, pending + 1
+            name = entry[: -len(ITEM_SUFFIX)]
+            if os.path.exists(self.campaign.result_path(name)):
+                # Completed (possibly by a worker that died before its
+                # cleanup): garbage-collect the item file.
+                try:
+                    os.unlink(self.campaign.item_path(name))
+                except OSError:
+                    pass
+                continue
+            if not leases.acquire(
+                self.campaign.lease_path(name),
+                self.owner,
+                self.campaign.settings.lease_ttl,
+            ):
+                pending += 1
+                continue
+            outcome = self._run_claimed(name)
+            if outcome:
+                progressed += 1
+            else:
+                pending += 1
+        self.reap()
+        return progressed, pending
+
+    # -- one claimed item ---------------------------------------------
+
+    def _run_claimed(self, name: str) -> bool:
+        """Run one item we hold the lease for.  True when resolved."""
+        campaign = self.campaign
+        lease_path = campaign.lease_path(name)
+        try:
+            with open(campaign.item_path(name), "rb") as stream:
+                index, args = pickle.load(stream)
+        except FileNotFoundError:
+            leases.release(lease_path, self.owner)
+            return False  # Completed and collected between scan and claim.
+        except Exception:
+            quarantine_entry(campaign.item_path(name))
+            leases.release(lease_path, self.owner)
+            return False
+        ledger = _death_ledger(campaign, name)
+        attempt = len(ledger) + 1
+        plan = campaign.settings.fault_plan
+        heartbeat = _Heartbeat(
+            lease_path,
+            self.owner,
+            campaign.settings.heartbeat_interval,
+            campaign.settings.lease_ttl,
+        )
+        heartbeat.start()
+        try:
+            if plan is not None:
+                self._apply_queue_faults(plan, name, index, attempt, heartbeat)
+                plan.fire(index, attempt, allow_exit=self.allow_exit)
+            value = campaign.worker(args)
+            payload = {
+                "index": index,
+                "status": STATUS_OK,
+                "value": value,
+                "error": None,
+                "attempts": attempt,
+            }
+        except _AbandonLease:
+            # The lease was handed to a fake dead foreign owner; leave
+            # it for the reaper, which records the reclaim itself.
+            heartbeat.stop()
+            return False
+        except SimulatedWorkerDeath as death:
+            # The in-process stand-in for a worker kill: ledger it like
+            # a real death and let a later pass (or sibling) retry.
+            heartbeat.stop()
+            _record_death(campaign, name, "death", describe_exception(death)[:200])
+            leases.release(lease_path, self.owner)
+            return self._maybe_poison(name)
+        except Exception as failure:
+            heartbeat.stop()
+            _record_death(
+                campaign, name, "error", describe_exception(failure)[:200]
+            )
+            ledger = _death_ledger(campaign, name)
+            if _ledger_counts(ledger)["error"] > campaign.settings.retries:
+                payload = {
+                    "index": index,
+                    "status": STATUS_ERROR,
+                    "value": None,
+                    "error": describe_exception(failure),
+                    "attempts": attempt,
+                }
+                self._resolve(name, payload)
+                _count("errors")
+                return True
+            leases.release(lease_path, self.owner)
+            return False
+        heartbeat.stop()
+        self._resolve(name, payload)
+        return True
+
+    def _resolve(self, name: str, payload: Dict[str, Any]) -> None:
+        publish_result(self.campaign, name, payload)
+        try:
+            os.unlink(self.campaign.item_path(name))
+        except OSError:
+            pass
+        leases.release(self.campaign.lease_path(name), self.owner)
+        self.reaper.forget(self.campaign.lease_path(name))
+
+    def _apply_queue_faults(
+        self, plan: FaultPlan, name: str, index: int, attempt: int, heartbeat: _Heartbeat
+    ) -> None:
+        """Interpret the queue-specific fault kinds for this claim."""
+        for fault in plan.at(index, attempt):
+            if fault.kind not in QUEUE_FAULT_KINDS:
+                continue
+            lease_path = self.campaign.lease_path(name)
+            if fault.kind == "stale-lease":
+                # Die holding a lease whose heartbeat reads as ancient
+                # and whose owner is on another machine: no dead-pid
+                # fast path applies, the reaper must prove staleness
+                # from the lease document alone.
+                heartbeat.stop()
+                try:
+                    _atomic_write(
+                        lease_path,
+                        json.dumps(
+                            {
+                                "owner": _FOREIGN_DEAD_OWNER,
+                                "seq": 0,
+                                "ts": 0.0,
+                                "ttl": 0.0,
+                            }
+                        ).encode("utf-8"),
+                    )
+                except OSError:
+                    pass
+                if self.allow_exit:
+                    os._exit(KILL_EXIT_CODE)
+                raise _AbandonLease(
+                    f"injected stale-lease death at item {index} attempt {attempt}"
+                )
+            if fault.kind == "double-claim":
+                # Drop our own lease (as if reclaimed), let a sibling
+                # re-claim and finish first, then complete anyway: the
+                # first-writer-wins publication must resolve it.
+                heartbeat.stop()
+                try:
+                    os.unlink(lease_path)
+                except OSError:
+                    pass
+                time.sleep(fault.seconds)
+            elif fault.kind == "slow-heartbeat":
+                heartbeat.pause(fault.seconds)
+                time.sleep(fault.seconds)
+
+    def _maybe_poison(self, name: str) -> bool:
+        ledger = _death_ledger(self.campaign, name)
+        counts = _ledger_counts(ledger)
+        if counts["reclaim"] + counts["death"] > self.campaign.settings.retries:
+            poison_item(self.campaign, name, ledger, self.owner)
+            return True
+        return False
+
+    # -- reaping ------------------------------------------------------
+
+    def reap(self) -> int:
+        """Reclaim stale leases; poison items past their death budget.
+
+        Returns the number of leases reclaimed.  Every worker and the
+        supervisor reap, so recovery needs no dedicated process and
+        survives any single participant's death.
+        """
+        campaign = self.campaign
+        try:
+            entries = os.listdir(campaign.leases_dir)
+        except OSError:
+            return 0
+        reclaimed = 0
+        for entry in sorted(entries):
+            if not entry.endswith(LEASE_SUFFIX):
+                continue
+            name = entry[: -len(LEASE_SUFFIX)]
+            path = campaign.lease_path(name)
+            lease = leases.read_lease(path)
+            if lease is None:
+                continue
+            if lease.get("owner") == self.owner:
+                continue  # Never reap ourselves.
+            if os.path.exists(campaign.result_path(name)):
+                # Published but never released (death after publish):
+                # the claim is moot, clear it without a death entry.
+                leases.reclaim(path, self.owner)
+                self.reaper.forget(path)
+                continue
+            if not self.reaper.is_stale(path, lease):
+                continue
+            document = leases.reclaim(path, self.owner)
+            if document is None:
+                continue  # Lost the reclaim race; someone else owns it.
+            self.reaper.forget(path)
+            reclaimed += 1
+            _count("reclaims")
+            _record_death(
+                campaign,
+                name,
+                "reclaim",
+                f"stale lease of {document.get('owner', '?')} "
+                f"(seq {document.get('seq', 0)})",
+            )
+            self._maybe_poison(name)
+        return reclaimed
+
+
+def _spawned_worker_main(worker, root: str, parent_pid: int) -> None:
+    """Entry point of a supervisor-spawned local queue worker."""
+    try:
+        campaign = open_campaign(root, worker=worker)
+    except (OSError, ValueError):
+        return
+    QueueWorker(campaign, allow_exit=True, parent_pid=parent_pid).drain()
+
+
+class QueueExecutor(Executor):
+    """Durable work-queue execution behind the standard executor seam.
+
+    The supervisor enqueues the campaign, spawns local queue workers
+    (any external ``repro-frontend worker`` processes pointed at the
+    same queue directory simply join in), collects published results,
+    reaps stale leases, and -- like the process executor -- degrades to
+    in-process draining when no worker can be spawned at all.
+    """
+
+    name = "queue"
+
+    def run(self, worker, items, settings, on_result=None):
+        items = list(items)
+        if not items:
+            return RunOutcome([], False)
+        from repro.api import runtime_config
+
+        queue_dir = settings.queue_dir or runtime_config.current_queue_dir()
+        ephemeral = queue_dir is None
+        if ephemeral:
+            queue_dir = tempfile.mkdtemp(prefix="repro-queue-")
+        campaign = enqueue_campaign(worker, items, settings, queue_dir)
+        try:
+            return self._supervise(campaign, items, settings, on_result)
+        finally:
+            if ephemeral:
+                shutil.rmtree(queue_dir, ignore_errors=True)
+
+    def _supervise(self, campaign, items, settings, on_result):
+        order = [index for index, _ in items]
+        args_of = dict(items)
+        name_of = dict(zip(order, campaign.names))
+        results: Dict[int, ItemResult] = {}
+        # Resume: everything already published replays without running.
+        for index in order:
+            payload = load_published(campaign, name_of[index])
+            if payload is None:
+                continue
+            status = payload.get("status", STATUS_OK)
+            results[index] = ItemResult(
+                index,
+                STATUS_REPLAYED if status == STATUS_OK else status,
+                value=payload.get("value"),
+                error=payload.get("error"),
+                attempts=int(payload.get("attempts", 0)),
+            )
+        _count("replayed", len(results))
+        unresolved = [index for index in order if index not in results]
+        degraded = False
+        if unresolved:
+            degraded = self._drive(
+                campaign, unresolved, args_of, name_of, results, settings, on_result
+            )
+        if all(results[index].ok for index in order):
+            # A fully successful campaign leaves nothing to resume:
+            # retire its directory (failures keep it as evidence).
+            shutil.rmtree(campaign.root, ignore_errors=True)
+        return RunOutcome([results[index] for index in order], degraded)
+
+    def _drive(
+        self, campaign, unresolved, args_of, name_of, results, settings, on_result
+    ) -> bool:
+        count = settings.processes
+        if count is None:
+            count = os.cpu_count() or 1
+        count = max(1, min(int(count), len(unresolved)))
+        ctx = multiprocessing.get_context()
+        workers: List[Any] = []
+
+        def spawn() -> bool:
+            try:
+                process = ctx.Process(
+                    target=_spawned_worker_main,
+                    args=(campaign.worker, campaign.root, os.getpid()),
+                    daemon=True,
+                )
+                process.start()
+            except Exception:
+                return False
+            workers.append(process)
+            return True
+
+        supervisor = QueueWorker(campaign, allow_exit=False)
+        degraded = False
+        for _ in range(count):
+            spawn()
+        try:
+            while True:
+                fresh = self._collect(campaign, unresolved, name_of, results)
+                for result in fresh:
+                    _notify(on_result, result)
+                if not any(index not in results for index in unresolved):
+                    break
+                supervisor.reap()
+                self._heal_missing_items(
+                    campaign, unresolved, args_of, name_of, results
+                )
+                workers[:] = [process for process in workers if process.is_alive()]
+                if not workers and not spawn():
+                    # No worker alive and none spawnable: drain what is
+                    # left in-process so the sweep still completes.
+                    degraded = True
+                    supervisor.drain()
+            return degraded
+        finally:
+            deadline = time.monotonic() + 5.0
+            for process in workers:
+                process.join(timeout=max(0.1, deadline - time.monotonic()))
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+
+    def _collect(self, campaign, unresolved, name_of, results) -> List[ItemResult]:
+        fresh = []
+        for index in unresolved:
+            if index in results:
+                continue
+            payload = load_published(campaign, name_of[index])
+            if payload is None:
+                continue
+            result = ItemResult(
+                index,
+                payload.get("status", STATUS_OK),
+                value=payload.get("value"),
+                error=payload.get("error"),
+                attempts=int(payload.get("attempts", 1)),
+            )
+            results[index] = result
+            fresh.append(result)
+        if not fresh:
+            time.sleep(QUEUE_POLL)
+        return fresh
+
+    def _heal_missing_items(
+        self, campaign, unresolved, args_of, name_of, results
+    ) -> None:
+        """Re-materialize items that lost both their file and result.
+
+        Can only happen through outside interference or a quarantined
+        (corrupt) file -- but an invariant violation must heal, not
+        hang the campaign.
+        """
+        for index in unresolved:
+            if index in results:
+                continue
+            name = name_of[index]
+            if os.path.exists(campaign.item_path(name)) or os.path.exists(
+                campaign.result_path(name)
+            ):
+                continue
+            try:
+                _atomic_write(
+                    campaign.item_path(name),
+                    pickle.dumps(
+                        (index, args_of[index]), protocol=pickle.HIGHEST_PROTOCOL
+                    ),
+                )
+            except OSError:
+                pass
+
+
+def serve_queue(
+    queue_dir: str,
+    max_idle: Optional[float] = 30.0,
+    poll: float = 0.2,
+) -> Dict[str, int]:
+    """Serve every campaign under a queue directory (the CLI worker).
+
+    Scans for campaign directories, resolves each campaign's worker by
+    its importable reference, and claims items until the queue has been
+    idle -- no campaign with claimable work -- for ``max_idle`` seconds
+    (``None``: forever).  Returns the process-wide queue counters.
+    """
+    served: Dict[str, QueueWorker] = {}
+    last_work = time.monotonic()
+    while True:
+        worked = False
+        try:
+            entries = sorted(os.listdir(queue_dir))
+        except OSError:
+            entries = []
+        for entry in entries:
+            root = os.path.join(queue_dir, entry)
+            if not entry.startswith(CAMPAIGN_PREFIX) or not os.path.isdir(root):
+                continue
+            queue_worker = served.get(root)
+            if queue_worker is None:
+                try:
+                    campaign = open_campaign(root)
+                except (OSError, ValueError, ImportError, AttributeError):
+                    continue  # Unreadable or locally unresolvable worker.
+                queue_worker = QueueWorker(campaign, allow_exit=True, poll=poll)
+                served[root] = queue_worker
+            progressed, _pending = queue_worker.step()
+            if progressed:
+                worked = True
+            if not os.path.isdir(root):
+                served.pop(root, None)
+        now = time.monotonic()
+        if worked:
+            last_work = now
+        elif max_idle is not None and now - last_work > max_idle:
+            return queue_info()
+        else:
+            time.sleep(poll)
+
+
+def _register() -> None:
+    from repro.workloads.trace_cache import register_stats_provider
+
+    register_stats_provider("queue", queue_info)
+    register_executor("queue", QueueExecutor)
+
+
+_register()

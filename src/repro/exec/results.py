@@ -26,6 +26,9 @@ STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
 #: The worker process died (crash, ``os._exit``, external kill).
 STATUS_WORKER_DEATH = "worker-death"
+#: The item killed its worker (or leaked its lease) too many times and
+#: was quarantined as a poison item; ``error`` holds the typed report.
+STATUS_POISON = "poison"
 
 #: Every status an :class:`ItemResult` can carry, in severity order.
 ITEM_STATUSES = (
@@ -34,6 +37,7 @@ ITEM_STATUSES = (
     STATUS_ERROR,
     STATUS_TIMEOUT,
     STATUS_WORKER_DEATH,
+    STATUS_POISON,
 )
 
 #: Statuses that count as success (a usable value is present).

@@ -36,6 +36,7 @@ from repro.results.store import (
     result_key,
     result_store_info,
     store_result,
+    store_result_cas,
 )
 
 __all__ = [
@@ -54,4 +55,5 @@ __all__ = [
     "result_key",
     "result_store_info",
     "store_result",
+    "store_result_cas",
 ]

@@ -30,7 +30,7 @@ from repro.results.artifacts import (
     write_artifact_json,
 )
 from repro.results.spec import ExperimentSpec
-from repro.results.store import load_result, result_key, store_result
+from repro.results.store import load_result, result_key, store_result_cas
 
 #: Dynamic trace length of ``--smoke`` runs: long enough for every
 #: experiment to produce non-degenerate tables, short enough for the
@@ -299,7 +299,11 @@ def run_experiments(
             spec.name, spec.title, spec.tables(result), result
         )
         if use_store:
-            store_result(key, artifact)
+            # First-writer-wins: when two orchestrations race on the
+            # same key (overlapping CLI invocations, a resumed run
+            # racing a zombie), every process converges on the first
+            # published artifact instead of last-writer clobbering.
+            _, artifact = store_result_cas(key, artifact, spec.name)
             journal = journal_for_scope(key)
             if journal is not None:
                 # The artifact is durable now; the item-level

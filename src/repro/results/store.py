@@ -27,7 +27,7 @@ import json
 import os
 import tempfile
 import threading
-from typing import Any, Dict, Mapping, Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.api import runtime_config
 from repro.api.frame import FRAME_SCHEMA_VERSION
@@ -56,6 +56,9 @@ _STATS = {
     "disk_misses": 0,
     "disk_stores": 0,
     "quarantined": 0,
+    "cas_stores": 0,
+    "cas_identical": 0,
+    "cas_conflicts": 0,
 }
 
 
@@ -200,6 +203,135 @@ def store_result(key: str, artifact: Dict[str, Any]) -> None:
     if _store_to_disk(key, artifact):
         with _LOCK:
             _STATS["disk_stores"] += 1
+
+
+def artifact_etag(artifact: Dict[str, Any]) -> str:
+    """Content tag of an artifact: digest of its canonical JSON.
+
+    The generation check of the CAS path: two writes are "the same
+    result" exactly when their etags match, independent of dict
+    insertion order or which process produced them.
+    """
+    canonical = json.dumps(
+        artifact, sort_keys=True, separators=(",", ":"), default=_canonical_default
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def store_result_cas(
+    key: str, artifact: Dict[str, Any], experiment: Optional[str] = None
+) -> Tuple[str, Dict[str, Any]]:
+    """First-writer-wins insert: the store's compare-and-swap path.
+
+    :func:`store_result` is last-writer-wins, which is fine for a
+    single-writer pipeline but ambiguous when two workers publish the
+    same key concurrently (a reclaimed-but-alive queue worker racing
+    its replacement).  This path resolves the race deterministically:
+
+    * ``("stored", artifact)`` -- this writer created the entry.
+    * ``("identical", winner)`` -- an entry with the same etag already
+      exists; the benign double-completion, counted as such.
+    * ``("conflict", winner)`` -- an entry with a *different* etag
+      exists.  The first writer's artifact stands everywhere (and is
+      returned so callers converge on it); the loser's bytes are
+      preserved as ``*.conflict`` evidence next to the entry and the
+      conflict is counted, never silently clobbered.
+
+    Disk-layer atomicity is hardlink-based: the entry is fully written
+    to a temporary file and then ``os.link``-ed into place, which both
+    fails on an existing entry (the compare) and can never expose a
+    torn half-written file to a concurrent reader.
+    """
+    path = _entry_path(key)
+    if path is not None:
+        status, winner = _cas_to_disk(path, key, artifact, experiment)
+    else:
+        status, winner = None, artifact  # Memory-only CAS below.
+    with _LOCK:
+        if status is None:
+            existing = _MEMORY.get(key)
+            if existing is None:
+                status, winner = "stored", artifact
+            elif artifact_etag(existing) == artifact_etag(artifact):
+                status, winner = "identical", existing
+            else:
+                status, winner = "conflict", existing
+        _MEMORY[key] = winner
+        if status == "stored":
+            _STATS["stores"] += 1
+            _STATS["cas_stores"] += 1
+            if path is not None:
+                _STATS["disk_stores"] += 1
+        elif status == "identical":
+            _STATS["cas_identical"] += 1
+        else:
+            _STATS["cas_conflicts"] += 1
+    return status, winner
+
+
+def _cas_to_disk(
+    path: str, key: str, artifact: Dict[str, Any], experiment: Optional[str]
+) -> Tuple[str, Dict[str, Any]]:
+    """The disk leg of :func:`store_result_cas` (see its docstring)."""
+    etag = artifact_etag(artifact)
+    # Insertion order is preserved (like the plain store): only the
+    # etag comparison is canonical, the entry round-trips verbatim.
+    data = json.dumps({"key": key, "artifact": artifact, "etag": etag}).encode("utf-8")
+    try:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        handle, temporary = tempfile.mkstemp(suffix=".json.tmp", dir=directory)
+    except OSError:
+        return "stored", artifact  # No disk layer reachable: memory wins.
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+        for _ in range(5):
+            try:
+                os.link(temporary, path)
+                return "stored", artifact
+            except FileExistsError:
+                existing = _load_from_disk(key, experiment)
+                if existing is not None:
+                    if artifact_etag(existing) == etag:
+                        return "identical", existing
+                    _preserve_conflict(path, data)
+                    return "conflict", existing
+                if os.path.exists(path):
+                    # A valid entry of *different* provenance (key
+                    # prefix collision) occupies the slot; replace it
+                    # exactly as the plain store would.
+                    os.replace(temporary, path)
+                    temporary = None
+                    return "stored", artifact
+                # Corrupt entry was quarantined away: retry the link.
+            except OSError:
+                return "stored", artifact  # Disk is best-effort.
+        os.replace(temporary, path)
+        temporary = None
+        return "stored", artifact
+    except OSError:
+        return "stored", artifact
+    finally:
+        if temporary is not None:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+
+
+def _preserve_conflict(path: str, data: bytes) -> None:
+    """Keep a CAS loser's bytes as ``*.conflict`` evidence (best effort)."""
+    evidence = path + ".conflict"
+    attempt = 0
+    while os.path.exists(evidence):
+        attempt += 1
+        evidence = f"{path}.conflict.{attempt}"
+    try:
+        with open(evidence, "wb") as stream:
+            stream.write(data)
+    except OSError:
+        pass
 
 
 def clear_result_store() -> None:

@@ -51,6 +51,9 @@ class TestPublicSurface:
             "REPRO_RETRY_DELAY",
             "REPRO_FAULT_PLAN",
             "REPRO_CACHE_NAMESPACE",
+            "REPRO_QUEUE_DIR",
+            "REPRO_LEASE_TTL",
+            "REPRO_HEARTBEAT_INTERVAL",
         )
 
     def test_runtime_config_fields_are_pinned(self):
@@ -70,6 +73,9 @@ class TestPublicSurface:
             ("retry_delay", 0.05),
             ("fault_plan", None),
             ("cache_namespace", None),
+            ("queue_dir", None),
+            ("lease_ttl", 30.0),
+            ("heartbeat_interval", 5.0),
         ]
 
     def test_session_method_signatures(self):

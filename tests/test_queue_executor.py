@@ -1,0 +1,526 @@
+"""Tests for the durable filesystem work queue (``executor = "queue"``).
+
+Covers the lease primitives (exclusive claims, heartbeat renewal,
+reclaim races, corrupt-lease quarantine), the queue-specific fault
+kinds (``stale-lease``, ``double-claim``, ``slow-heartbeat``), poison
+item quarantine, campaign resume after a SIGKILLed supervisor, and the
+external ``repro-frontend worker`` CLI -- every robustness claim as a
+deterministic assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+
+import pytest
+
+from repro.exec import leases
+from repro.exec.executors import (
+    ExecutionSettings,
+    ExecutionSettingsError,
+    resolve_executor,
+)
+from repro.exec.faults import Fault, FaultPlan
+from repro.exec.queue import (
+    CAMPAIGN_PREFIX,
+    QueueWorker,
+    enqueue_campaign,
+    load_published,
+    publish_result,
+    queue_info,
+    reset_queue_info,
+    worker_reference,
+)
+from repro.exec.results import (
+    STATUS_OK,
+    STATUS_POISON,
+    STATUS_REPLAYED,
+)
+
+#: Keeps every retry path fast; the short TTL keeps reclaim tests fast.
+FAST = dict(retries=2, retry_delay=0.001, lease_ttl=1.0, heartbeat_interval=0.1)
+
+
+def settings(**overrides) -> ExecutionSettings:
+    return ExecutionSettings(**{**FAST, **overrides})
+
+
+def double(args):
+    return args * 2
+
+
+def explode_on_three(args):
+    if args == 3:
+        raise ValueError("item three always fails")
+    return args
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    reset_queue_info()
+    leases.reset_lease_info()
+    yield
+
+
+class TestExecutionSettingsValidation:
+    def test_rejects_out_of_range_knobs(self):
+        for bad in (
+            dict(item_timeout=0),
+            dict(item_timeout=-3),
+            dict(retry_delay=0),
+            dict(retry_delay=-0.5),
+            dict(retries=-1),
+            dict(lease_ttl=0),
+            dict(lease_ttl=-1.0),
+            dict(heartbeat_interval=0),
+            dict(heartbeat_interval=-2.0),
+            dict(lease_ttl=1.0, heartbeat_interval=1.0),
+            dict(lease_ttl=1.0, heartbeat_interval=2.0),
+        ):
+            merged = {**FAST, **bad}
+            with pytest.raises(ExecutionSettingsError):
+                ExecutionSettings(**merged)
+
+    def test_typed_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            ExecutionSettings(retry_delay=0)
+
+    def test_valid_knobs_pass(self):
+        built = settings(item_timeout=5.0)
+        assert built.lease_ttl == 1.0
+        assert built.heartbeat_interval == 0.1
+
+
+class TestLeases:
+    def test_acquire_is_exclusive(self, tmp_path):
+        path = str(tmp_path / "item.lease")
+        assert leases.acquire(path, "a:1:x", ttl=5.0)
+        assert not leases.acquire(path, "b:2:y", ttl=5.0)
+        document = leases.read_lease(path)
+        assert document["owner"] == "a:1:x"
+
+    def test_renew_refuses_after_reclaim(self, tmp_path):
+        path = str(tmp_path / "item.lease")
+        assert leases.acquire(path, "a:1:x", ttl=5.0)
+        assert leases.renew(path, "a:1:x", seq=1, ttl=5.0)
+        taken = leases.reclaim(path, "reaper:2:y")
+        assert taken["owner"] == "a:1:x"
+        # The zombie's next heartbeat must not resurrect the claim.
+        assert not leases.renew(path, "a:1:x", seq=2, ttl=5.0)
+        assert leases.lease_info()["lost"] >= 1
+        assert not os.path.exists(path)
+
+    def test_release_only_by_owner(self, tmp_path):
+        path = str(tmp_path / "item.lease")
+        leases.acquire(path, "a:1:x", ttl=5.0)
+        assert not leases.release(path, "b:2:y")
+        assert os.path.exists(path)
+        assert leases.release(path, "a:1:x")
+        assert not os.path.exists(path)
+
+    def test_reclaim_race_has_one_winner(self, tmp_path):
+        path = str(tmp_path / "item.lease")
+        leases.acquire(path, "a:1:x", ttl=5.0)
+        first = leases.reclaim(path, "reaper:2:y")
+        second = leases.reclaim(path, "reaper:3:z")
+        assert first is not None
+        assert second is None
+
+    def test_corrupt_lease_is_quarantined_and_stale(self, tmp_path):
+        path = str(tmp_path / "item.lease")
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write("not json {")
+        document = leases.read_lease(path)
+        assert document["corrupt"]
+        assert leases.Reaper(ttl=100.0).is_stale(path, document)
+        quarantined = [
+            name for name in os.listdir(tmp_path) if name.endswith(".corrupt")
+        ]
+        assert quarantined
+
+    def test_reaper_dead_pid_fast_path(self, tmp_path):
+        path = str(tmp_path / "item.lease")
+        # Spawn-and-reap a real process so the pid provably belongs to
+        # no one, then hand the reaper a lease owned by it.
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()
+        owner = f"{socket.gethostname()}:{probe.pid}:dead"
+        leases.acquire(path, owner, ttl=100.0)
+        reaper = leases.Reaper(ttl=100.0)
+        assert reaper.is_stale(path, leases.read_lease(path))
+
+    def test_reaper_old_timestamp(self, tmp_path):
+        path = str(tmp_path / "item.lease")
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(
+                {"owner": "elsewhere:1:x", "seq": 5, "ts": time.time() - 60, "ttl": 1},
+                stream,
+            )
+        assert leases.Reaper(ttl=1.0).is_stale(path, leases.read_lease(path))
+
+    def test_reaper_frozen_sequence_on_own_clock(self, tmp_path):
+        # A lease from a machine with a wildly skewed (future) clock:
+        # the timestamp check is useless, the sequence observation on
+        # the reaper's own monotonic clock still catches it.
+        path = str(tmp_path / "item.lease")
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(
+                {"owner": "elsewhere:1:x", "seq": 7, "ts": time.time() + 3600, "ttl": 1},
+                stream,
+            )
+        reaper = leases.Reaper(ttl=0.2)
+        document = leases.read_lease(path)
+        assert not reaper.is_stale(path, document)  # First observation.
+        time.sleep(0.3)
+        assert reaper.is_stale(path, document)
+
+
+class TestQueueExecutor:
+    def test_matches_serial_execution_bit_for_bit(self, tmp_path):
+        items = [(index, index) for index in range(25)]
+        queued = resolve_executor("queue").run(
+            double, items, settings(processes=2, queue_dir=str(tmp_path))
+        )
+        serial = resolve_executor("serial").run(
+            double, items, ExecutionSettings(retries=2, retry_delay=0.001)
+        )
+        assert [r.value for r in queued.results] == [r.value for r in serial.results]
+        assert [r.index for r in queued.results] == [r.index for r in serial.results]
+        assert not queued.degraded
+
+    def test_successful_campaign_retires_its_directory(self, tmp_path):
+        resolve_executor("queue").run(
+            double,
+            [(index, index) for index in range(4)],
+            settings(processes=1, queue_dir=str(tmp_path)),
+        )
+        assert not [
+            name for name in os.listdir(tmp_path) if name.startswith(CAMPAIGN_PREFIX)
+        ]
+
+    def test_failed_campaign_keeps_its_directory_as_evidence(self, tmp_path):
+        out = resolve_executor("queue").run(
+            explode_on_three,
+            [(index, index) for index in range(5)],
+            settings(processes=1, retries=1, queue_dir=str(tmp_path)),
+        )
+        failed = [r for r in out.results if not r.ok]
+        assert [r.index for r in failed] == [3]
+        assert "item three always fails" in failed[0].error
+        assert failed[0].attempts == 2  # retries=1 -> two attempts.
+        assert [
+            name for name in os.listdir(tmp_path) if name.startswith(CAMPAIGN_PREFIX)
+        ]
+
+    def test_resume_replays_published_results_without_recompute(self, tmp_path):
+        items = [(index, index) for index in range(6)]
+        config = settings(processes=1, queue_dir=str(tmp_path))
+        campaign = enqueue_campaign(double, items, config, str(tmp_path))
+        # A previous (killed) run published items 0 and 1 with values a
+        # recompute could never produce: replay must preserve them.
+        for index in (0, 1):
+            publish_result(
+                campaign,
+                campaign.names[index],
+                {
+                    "index": index,
+                    "status": STATUS_OK,
+                    "value": 990 + index,
+                    "error": None,
+                    "attempts": 1,
+                },
+            )
+        out = resolve_executor("queue").run(double, items, config)
+        by_index = {r.index: r for r in out.results}
+        assert by_index[0].status == STATUS_REPLAYED
+        assert by_index[0].value == 990
+        assert by_index[1].status == STATUS_REPLAYED
+        assert by_index[1].value == 991
+        assert all(by_index[i].status == STATUS_OK for i in range(2, 6))
+        assert [by_index[i].value for i in range(2, 6)] == [4, 6, 8, 10]
+
+    def test_kill_fault_is_reclaimed_and_retried(self, tmp_path):
+        plan = FaultPlan.of(Fault("kill", index=3))
+        out = resolve_executor("queue").run(
+            double,
+            [(index, index) for index in range(6)],
+            settings(processes=2, queue_dir=str(tmp_path), fault_plan=plan),
+        )
+        by_index = {r.index: r for r in out.results}
+        assert [by_index[i].value for i in range(6)] == [0, 2, 4, 6, 8, 10]
+        assert by_index[3].attempts == 2
+
+
+class TestQueueWorkerInProcess:
+    """Queue faults driven by in-process workers, where the process-wide
+    counters are observable and every step is deterministic."""
+
+    def _campaign(self, tmp_path, count=4, **overrides):
+        config = settings(**overrides)
+        return enqueue_campaign(
+            double, [(index, index) for index in range(count)], config, str(tmp_path)
+        )
+
+    def test_stale_lease_fault_exercises_foreign_reclaim(self, tmp_path):
+        plan = FaultPlan.of(Fault("stale-lease", index=0))
+        campaign = self._campaign(tmp_path, fault_plan=plan)
+        QueueWorker(campaign).drain()
+        for index, name in enumerate(campaign.names):
+            payload = load_published(campaign, name)
+            assert payload["status"] == STATUS_OK
+            assert payload["value"] == index * 2
+        # The abandoned foreign lease was reclaimed, not shortcut by
+        # the same-host pid check, and the retry carried attempt 2.
+        assert queue_info()["reclaims"] >= 1
+        assert leases.lease_info()["reclaimed"] >= 1
+        assert load_published(campaign, campaign.names[0])["attempts"] == 2
+
+    def test_poison_item_quarantined_with_typed_report(self, tmp_path):
+        plan = FaultPlan.of(
+            *[Fault("stale-lease", index=1, attempt=a) for a in (1, 2, 3, 4)]
+        )
+        campaign = self._campaign(tmp_path, retries=1, fault_plan=plan)
+        QueueWorker(campaign).drain()
+        payload = load_published(campaign, campaign.names[1])
+        assert payload["status"] == STATUS_POISON
+        assert "poison item" in payload["error"]
+        report_path = campaign.poison_report_path(campaign.names[1])
+        with open(report_path, "r", encoding="utf-8") as stream:
+            report = json.load(stream)
+        assert report["index"] == 1
+        assert report["reclaims"] > report["retries"] == 1
+        assert report["ledger"]
+        # The item file moved out of the queue: nothing claims it again.
+        assert not os.path.exists(campaign.item_path(campaign.names[1]))
+        assert queue_info()["poisoned"] == 1
+        # The campaign still completed: every other item has a value.
+        for index in (0, 2, 3):
+            assert load_published(campaign, campaign.names[index])["value"] == index * 2
+
+    def test_poison_surfaces_in_executor_results(self, tmp_path):
+        plan = FaultPlan.of(
+            *[Fault("stale-lease", index=1, attempt=a) for a in (1, 2, 3, 4)]
+        )
+        out = resolve_executor("queue").run(
+            double,
+            [(index, index) for index in range(3)],
+            settings(processes=1, retries=1, queue_dir=str(tmp_path), fault_plan=plan),
+        )
+        by_index = {r.index: r for r in out.results}
+        assert by_index[1].status == STATUS_POISON
+        assert "quarantined" in by_index[1].error
+        assert by_index[0].ok and by_index[2].ok
+
+    def test_double_claim_resolves_first_writer_wins(self, tmp_path):
+        plan = FaultPlan.of(Fault("double-claim", index=0, seconds=0.4))
+        campaign = self._campaign(tmp_path, count=1, fault_plan=plan)
+        first = QueueWorker(campaign)
+        second = QueueWorker(campaign)
+        threads = [
+            threading.Thread(target=first.drain),
+            threading.Thread(target=second.drain),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        payload = load_published(campaign, campaign.names[0])
+        assert payload["status"] == STATUS_OK
+        assert payload["value"] == 0
+        # Both claimants published; identical bytes resolved as a
+        # duplicate, never a second result file.
+        info = queue_info()
+        assert info["duplicates"] + info["conflicts"] >= 1
+        assert not os.path.exists(campaign.item_path(campaign.names[0]))
+
+    def test_slow_heartbeat_is_reclaimed_mid_run(self, tmp_path):
+        # Worker one pauses its heartbeat and stalls past the TTL; a
+        # sibling's reaper must reclaim and complete the item, and the
+        # late publication must lose the compare-and-swap.
+        plan = FaultPlan.of(Fault("slow-heartbeat", index=0, seconds=1.6))
+        campaign = self._campaign(
+            tmp_path, count=1, lease_ttl=0.4, heartbeat_interval=0.05, fault_plan=plan
+        )
+        stalled = QueueWorker(campaign)
+        sibling = QueueWorker(campaign)
+        stall_thread = threading.Thread(target=stalled.drain)
+        stall_thread.start()
+        time.sleep(0.15)  # Let the stalled worker claim first.
+
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            sibling.step()
+            if load_published(campaign, campaign.names[0]) is not None:
+                break
+        stall_thread.join(timeout=30)
+        payload = load_published(campaign, campaign.names[0])
+        assert payload["status"] == STATUS_OK
+        assert payload["value"] == 0
+        # The sibling reclaimed the stalled claim (attempt 2 won) and
+        # the stalled worker's late attempt-1 publication conflicted.
+        assert queue_info()["reclaims"] >= 1
+        assert payload["attempts"] == 2
+        assert queue_info()["conflicts"] >= 1
+        conflicts = [
+            name
+            for name in os.listdir(campaign.done_dir)
+            if ".conflict" in name
+        ]
+        assert conflicts
+
+
+class TestKillSupervisorAndResume:
+    """The acceptance scenario: a 1000-item campaign survives SIGKILL
+    of a worker AND the supervisor, resumes from a fresh process, and
+    ends byte-identical to an undisturbed run."""
+
+    CHILD = textwrap.dedent(
+        """
+        import json, os, signal, sys
+
+        from repro.exec import ExecutionSettings, resolve_executor
+
+        def worker(args):
+            if args == 37 and os.environ.get("CHAOS_KILL"):
+                # Take down the supervisor (our parent) and then this
+                # worker process itself, both without cleanup.
+                os.kill(os.getppid(), signal.SIGKILL)
+                os._exit(87)
+            return (args * 2654435761) % 1000003
+
+        settings = ExecutionSettings(
+            processes=2,
+            retries=2,
+            retry_delay=0.001,
+            lease_ttl=1.0,
+            heartbeat_interval=0.1,
+            queue_dir=os.environ["QUEUE_DIR"],
+        )
+        out = resolve_executor("queue").run(
+            worker, [(i, i) for i in range(1000)], settings
+        )
+        json.dump(
+            {
+                "statuses": sorted({r.status for r in out.results}),
+                "values": [r.value for r in out.results],
+                "degraded": out.degraded,
+            },
+            sys.stdout,
+        )
+        """
+    )
+
+    def _run_child(self, queue_dir, chaos_kill):
+        env = dict(os.environ)
+        env["QUEUE_DIR"] = str(queue_dir)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        if chaos_kill:
+            env["CHAOS_KILL"] = "1"
+        else:
+            env.pop("CHAOS_KILL", None)
+        return subprocess.run(
+            [sys.executable, "-c", self.CHILD],
+            env=env,
+            timeout=300,
+            capture_output=True,
+            text=True,
+        )
+
+    def test_campaign_survives_killing_worker_and_supervisor(self, tmp_path):
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        killed = self._run_child(queue_dir, chaos_kill=True)
+        assert killed.returncode == -signal.SIGKILL
+        # The campaign directory survives the kill with work to do.
+        campaigns = [
+            name for name in os.listdir(queue_dir) if name.startswith(CAMPAIGN_PREFIX)
+        ]
+        assert len(campaigns) == 1
+        items_dir = queue_dir / campaigns[0] / "items"
+        assert any(name.endswith(".item") for name in os.listdir(items_dir))
+
+        resumed = self._run_child(queue_dir, chaos_kill=False)
+        assert resumed.returncode == 0, resumed.stderr
+        report = json.loads(resumed.stdout)
+        # The resume replayed the published subset and ran the rest:
+        # both statuses present, nothing failed, nothing degraded.
+        assert report["statuses"] == ["ok", "replayed"]
+        assert not report["degraded"]
+
+        reference = self._run_child(tmp_path / "fresh", chaos_kill=False)
+        assert reference.returncode == 0, reference.stderr
+        undisturbed = json.loads(reference.stdout)
+        assert report["values"] == undisturbed["values"]
+        assert undisturbed["statuses"] == ["ok"]
+        # Both campaigns completed fully and retired their directories.
+        assert not [
+            name for name in os.listdir(queue_dir) if name.startswith(CAMPAIGN_PREFIX)
+        ]
+
+
+class TestExternalCliWorker:
+    def test_cli_worker_drains_a_campaign(self, tmp_path):
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        assert worker_reference(double) == "test_queue_executor:double"
+        campaign = enqueue_campaign(
+            double,
+            [(index, index) for index in range(6)],
+            settings(),
+            str(queue_dir),
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        tests = os.path.dirname(__file__)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src, tests, env.get("PYTHONPATH", "")]
+        )
+        env.setdefault("REPRO_TRACE_CACHE_DIR", "none")
+        env.setdefault("REPRO_RESULT_CACHE_DIR", "none")
+        done = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "worker",
+                "--queue-dir",
+                str(queue_dir),
+                "--max-idle",
+                "1",
+            ],
+            env=env,
+            timeout=120,
+            capture_output=True,
+            text=True,
+        )
+        assert done.returncode == 0, done.stderr
+        assert "worker idle" in done.stderr
+        for index, name in enumerate(campaign.names):
+            payload = load_published(campaign, name)
+            assert payload is not None, name
+            assert payload["status"] == STATUS_OK
+            assert payload["value"] == index * 2
+
+    def test_cli_worker_requires_a_queue_dir(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_QUEUE_DIR", None)
+        missing = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "worker"],
+            env=env,
+            timeout=60,
+            capture_output=True,
+            text=True,
+        )
+        assert missing.returncode == 2
+        assert "--queue-dir" in missing.stderr

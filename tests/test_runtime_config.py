@@ -178,9 +178,16 @@ class TestPrecedence:
         monkeypatch.setenv(rc.ITEM_TIMEOUT_VARIABLE, "2.5")
         assert rc.RuntimeConfig.from_environment().item_timeout == 2.5
         assert rc.RuntimeConfig.from_environment(item_timeout=1).item_timeout == 1.0
-        # Zero or negative means "no timeout", matching the unset state.
-        assert rc.RuntimeConfig(item_timeout=0).item_timeout is None
-        assert rc.RuntimeConfig(item_timeout=-3).item_timeout is None
+        # A zero/negative *environment* timeout stays lenient ("no
+        # timeout", matching the unset state); explicit ones raise.
+        monkeypatch.setenv(rc.ITEM_TIMEOUT_VARIABLE, "0")
+        assert rc.RuntimeConfig.from_environment().item_timeout is None
+        monkeypatch.setenv(rc.ITEM_TIMEOUT_VARIABLE, "-3")
+        assert rc.RuntimeConfig.from_environment().item_timeout is None
+        with pytest.raises(ValueError):
+            rc.RuntimeConfig(item_timeout=0)
+        with pytest.raises(ValueError):
+            rc.RuntimeConfig(item_timeout=-3)
 
     def test_retry_delay(self, monkeypatch):
         monkeypatch.delenv(rc.RETRY_DELAY_VARIABLE, raising=False)
@@ -189,9 +196,61 @@ class TestPrecedence:
         )
         monkeypatch.setenv(rc.RETRY_DELAY_VARIABLE, "0.2")
         assert rc.RuntimeConfig.from_environment().retry_delay == 0.2
-        assert rc.RuntimeConfig.from_environment(retry_delay=0).retry_delay == 0.0
-        # Negative delays clamp to zero rather than erroring.
-        assert rc.RuntimeConfig(retry_delay=-1.0).retry_delay == 0.0
+        # A zero/negative *environment* delay falls back to the default;
+        # explicit ones raise instead of silently clamping.
+        monkeypatch.setenv(rc.RETRY_DELAY_VARIABLE, "0")
+        assert (
+            rc.RuntimeConfig.from_environment().retry_delay == rc.DEFAULT_RETRY_DELAY
+        )
+        with pytest.raises(ValueError):
+            rc.RuntimeConfig.from_environment(retry_delay=0)
+        with pytest.raises(ValueError):
+            rc.RuntimeConfig(retry_delay=-1.0)
+
+    def test_queue_dir(self, monkeypatch):
+        monkeypatch.delenv(rc.QUEUE_DIR_VARIABLE, raising=False)
+        assert rc.RuntimeConfig.from_environment().queue_dir is None
+        monkeypatch.setenv(rc.QUEUE_DIR_VARIABLE, "/tmp/queue")
+        assert rc.RuntimeConfig.from_environment().queue_dir == "/tmp/queue"
+        assert rc.RuntimeConfig.from_environment(queue_dir=None).queue_dir is None
+        monkeypatch.setenv(rc.QUEUE_DIR_VARIABLE, "none")
+        assert rc.RuntimeConfig.from_environment().queue_dir is None
+        assert rc.RuntimeConfig(queue_dir="off").queue_dir is None
+
+    def test_lease_ttl_and_heartbeat(self, monkeypatch):
+        monkeypatch.delenv(rc.LEASE_TTL_VARIABLE, raising=False)
+        monkeypatch.delenv(rc.HEARTBEAT_INTERVAL_VARIABLE, raising=False)
+        config = rc.RuntimeConfig.from_environment()
+        assert config.lease_ttl == rc.DEFAULT_LEASE_TTL
+        assert config.heartbeat_interval == rc.DEFAULT_HEARTBEAT_INTERVAL
+        monkeypatch.setenv(rc.LEASE_TTL_VARIABLE, "12")
+        monkeypatch.setenv(rc.HEARTBEAT_INTERVAL_VARIABLE, "3")
+        config = rc.RuntimeConfig.from_environment()
+        assert config.lease_ttl == 12.0
+        assert config.heartbeat_interval == 3.0
+        # Garbage or non-positive environment values fall back.
+        monkeypatch.setenv(rc.LEASE_TTL_VARIABLE, "soon")
+        monkeypatch.setenv(rc.HEARTBEAT_INTERVAL_VARIABLE, "-1")
+        config = rc.RuntimeConfig.from_environment()
+        assert config.lease_ttl == rc.DEFAULT_LEASE_TTL
+        assert config.heartbeat_interval == rc.DEFAULT_HEARTBEAT_INTERVAL
+        # An env-only heartbeat >= TTL is resolved to the default ratio.
+        monkeypatch.setenv(rc.LEASE_TTL_VARIABLE, "6")
+        monkeypatch.setenv(rc.HEARTBEAT_INTERVAL_VARIABLE, "30")
+        config = rc.RuntimeConfig.from_environment()
+        assert config.heartbeat_interval == 1.0
+        # Explicit knobs are strict: non-positive values raise, and an
+        # explicit heartbeat must stay below the TTL.
+        with pytest.raises(ValueError):
+            rc.RuntimeConfig(lease_ttl=0)
+        with pytest.raises(ValueError):
+            rc.RuntimeConfig(heartbeat_interval=-2)
+        with pytest.raises(ValueError):
+            rc.RuntimeConfig(lease_ttl=5.0, heartbeat_interval=6.0)
+        # Lowering only the TTL keeps the untouched default heartbeat
+        # usable by scaling it down at the default ratio.
+        config = rc.RuntimeConfig(lease_ttl=3.0)
+        assert config.heartbeat_interval == pytest.approx(0.5)
 
     def test_fault_plan(self, monkeypatch):
         monkeypatch.delenv(rc.FAULT_PLAN_VARIABLE, raising=False)
@@ -250,6 +309,9 @@ class TestConfigBehaviour:
             "retry_delay",
             "fault_plan",
             "cache_namespace",
+            "queue_dir",
+            "lease_ttl",
+            "heartbeat_interval",
         }
 
 
