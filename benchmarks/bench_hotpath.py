@@ -18,7 +18,9 @@ import json
 
 import pytest
 
+from repro.api import Session
 from repro.api.frame import ResultFrame
+from repro.explore import frontend_grid
 from repro.exec import ExecutionSettings, QueueWorker, enqueue_campaign
 from repro.frontend.configs import BASELINE_FRONTEND
 from repro.frontend.simulation import simulate_frontend
@@ -177,6 +179,37 @@ def test_queue_item_cycle(benchmark, tmp_path):
 
     resolved = benchmark.pedantic(cycle, rounds=3, iterations=1)
     assert resolved == len(items)
+
+
+def test_explore_grid(benchmark):
+    """Configs/sec of the design-space exploration path.
+
+    Compiles the 96-point ``frontend_grid()`` preset onto the batched
+    ``simulate_frontend_many`` engine through ``Session.explore`` and
+    times one full exploration of it -- chunked evaluation, grid-frame
+    assembly, Pareto frontier, sensitivity tables -- with the result
+    store disabled so every round re-simulates.  The trace is
+    pre-warmed, so ``points / (min_ms / 1e3)`` is the configs/sec
+    number tracked in BENCH_hotpath.json.
+    """
+    grid = frontend_grid()
+    points = len(grid.points())
+    session = Session(
+        instructions=60_000, trace_cache_dir=None, result_cache_dir=None
+    )
+    plan = session.explore(grid, workloads=[WORKLOAD], use_store=False)
+    plan.result()  # warm the shared trace cache and decoded streams
+
+    def explore():
+        return plan.result()
+
+    result = benchmark(explore)
+    assert result.chunks_computed == result.chunks_total
+    assert len(result.frames["grid"].rows()) == points
+    benchmark.extra_info["configs"] = points
+    benchmark.extra_info["configs_per_s"] = round(
+        points / benchmark.stats.stats.mean
+    )
 
 
 def test_frame_payload_round_trip(benchmark):

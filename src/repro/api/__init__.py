@@ -15,8 +15,14 @@ The pieces:
     Every ``REPRO_*`` knob, resolved once (explicit > env > default).
 :class:`Session`
     Owns a config; typed methods for every pipeline stage.
-:class:`Plan` / :class:`FrontendSweepPlan` / :class:`ExperimentPlan`
-    Declarative descriptions of work; ``execute()`` runs them.
+:class:`Plan` / :class:`FrontendSweepPlan` / :class:`ExperimentPlan` /
+:class:`ExplorePlan`
+    Declarative descriptions of work; ``execute()`` runs them, and
+    every plan shares the ``execute()``/``frame()``/``outcome()``
+    protocol (see :mod:`repro.api.plan`).
+:class:`GridSpec` / :class:`ParetoFrontier`
+    Declarative design-space grids and their non-dominated subsets
+    (see :mod:`repro.explore`).
 :class:`ResultFrame`
     The columnar result every plan yields.
 
@@ -30,8 +36,12 @@ from typing import TYPE_CHECKING
 __all__ = [
     "ENVIRONMENT_VARIABLES",
     "ExperimentPlan",
+    "ExplorePlan",
     "FrontendSweepPlan",
+    "GridSpec",
+    "ParetoFrontier",
     "Plan",
+    "PlanOutcome",
     "ResultFrame",
     "RuntimeConfig",
     "Session",
@@ -45,8 +55,12 @@ _EXPORTS = {
     "RuntimeConfig": "repro.api.runtime_config",
     "ResultFrame": "repro.api.frame",
     "Plan": "repro.api.plan",
+    "PlanOutcome": "repro.api.plan",
     "FrontendSweepPlan": "repro.api.plan",
     "ExperimentPlan": "repro.api.plan",
+    "ExplorePlan": "repro.explore.plan",
+    "GridSpec": "repro.explore.grid",
+    "ParetoFrontier": "repro.explore.pareto",
     "Session": "repro.api.session",
     "current_session": "repro.api.session",
     "default_session": "repro.api.session",
@@ -54,9 +68,12 @@ _EXPORTS = {
 
 if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
     from repro.api.frame import ResultFrame
-    from repro.api.plan import ExperimentPlan, FrontendSweepPlan, Plan
+    from repro.api.plan import ExperimentPlan, FrontendSweepPlan, Plan, PlanOutcome
     from repro.api.runtime_config import ENVIRONMENT_VARIABLES, RuntimeConfig
     from repro.api.session import Session, current_session, default_session
+    from repro.explore.grid import GridSpec
+    from repro.explore.pareto import ParetoFrontier
+    from repro.explore.plan import ExplorePlan
 
 
 def __getattr__(name: str):

@@ -1,8 +1,8 @@
 """Declarative plans: what to run, separated from how it runs.
 
 A :class:`Plan` captures a complete description of work -- which
-workloads, which front-end configurations, which metrics, or which
-registered paper experiments -- bound to the
+workloads, which front-end configurations, which metrics, which
+registered paper experiments, or which exploration grid -- bound to the
 :class:`~repro.api.session.Session` that will execute it.  Building a
 plan performs no simulation; :meth:`Plan.execute` compiles it onto the
 existing engines (the batched
@@ -10,6 +10,28 @@ existing engines (the batched
 trace cache, the orchestrator's content-addressed store) under the
 session's :class:`~repro.api.runtime_config.RuntimeConfig` and yields a
 columnar :class:`~repro.api.frame.ResultFrame`.
+
+The Plan protocol
+-----------------
+Every plan -- :class:`FrontendSweepPlan`, :class:`ExperimentPlan`, and
+:class:`~repro.explore.plan.ExplorePlan` -- implements the same
+three-method surface, so callers (the CLI, notebooks, higher-level
+tooling) can hold any of them behind one interface:
+
+``execute() -> ResultFrame``
+    Run the plan and return its canonical columnar result.
+``frame() -> ResultFrame``
+    The plan's primary frame.  For store-backed plans this is the
+    *stored payload* frame (slice with ``select()``/``column()``);
+    plans that compute directly alias :meth:`execute`.
+``outcome() -> PlanOutcome``
+    Run the plan and return the frame together with its provenance:
+    the plan kind, the content-addressed store/journal key, and
+    whether the result was served from the store (``"cached"``) or
+    computed this run.
+
+``describe()`` stays the side-effect-free semantic description used for
+logging and content addressing.
 
 The module-level sweep worker is deliberately a plain picklable
 function, so plans fan out through the same ``parallel_map`` pool the
@@ -77,13 +99,41 @@ def _sweep_worker(args) -> Dict[Tuple[str, CodeSection], FrontEndResult]:
     return simulate_frontend_many(trace, configs, sections)
 
 
+@dataclass(frozen=True)
+class PlanOutcome:
+    """What one executed plan produced, with provenance.
+
+    ``kind``
+        The plan flavour (``"frontend-sweep"``, ``"experiments"``,
+        ``"explore"``).
+    ``key``
+        The plan's content-addressed store/journal key -- the identity
+        a rerun would resolve against.
+    ``status``
+        ``"cached"`` when the result was served entirely from the
+        store, ``"computed"`` otherwise (orchestrator statuses such as
+        ``"derived"`` pass through).
+    ``frame``
+        The plan's primary :class:`ResultFrame`.
+    ``details``
+        Plan-specific accounting (chunk counts, experiment titles, ...).
+    """
+
+    kind: str
+    key: str
+    status: str
+    frame: ResultFrame
+    details: Dict[str, Any]
+
+
 class Plan:
     """Base class of every declarative plan.
 
-    Subclasses implement :meth:`execute` (run under the owning
-    session's runtime config, yield a :class:`ResultFrame`) and
-    :meth:`describe` (the plan's full semantic description, e.g. for
-    logging or content addressing).
+    Subclasses implement the protocol documented in the module
+    docstring: :meth:`execute` and :meth:`describe` are required;
+    :meth:`frame` defaults to :meth:`execute`, and :meth:`outcome`
+    wraps it with ``"computed"`` provenance for plans that do not
+    track store service themselves.
     """
 
     def execute(self) -> ResultFrame:
@@ -93,6 +143,21 @@ class Plan:
     def describe(self) -> Dict[str, Any]:
         """Plain-dict description of everything the plan will do."""
         raise NotImplementedError
+
+    def frame(self) -> ResultFrame:
+        """The plan's primary frame (defaults to :meth:`execute`)."""
+        return self.execute()
+
+    def outcome(self) -> PlanOutcome:
+        """Execute and return the frame with provenance attached."""
+        description = self.describe()
+        return PlanOutcome(
+            kind=str(description.get("kind", type(self).__name__)),
+            key="",
+            status="computed",
+            frame=self.execute(),
+            details={},
+        )
 
 
 @dataclass(frozen=True)
@@ -192,6 +257,23 @@ class FrontendSweepPlan(Plan):
                     )
         return ResultFrame.from_rows(
             ("workload", "suite", "section", "config") + self.metrics, rows
+        )
+
+    def outcome(self) -> PlanOutcome:
+        """Execute and return the sweep frame with its journal key.
+
+        Sweep plans checkpoint per-workload rather than store whole
+        results, so the status is always ``"computed"``.
+        """
+        return PlanOutcome(
+            kind="frontend-sweep",
+            key=self.journal_scope(),
+            status="computed",
+            frame=self.execute(),
+            details={
+                "workloads": [spec.name for spec in self.workloads],
+                "configs": [config.name for config in self.configs],
+            },
         )
 
 
@@ -311,6 +393,29 @@ class ExperimentPlan(Plan):
             raise ValueError(
                 "experiments disagree on table headers; use frames() instead"
             ) from error
+
+    def outcome(self) -> PlanOutcome:
+        """Execute and return the single selected experiment's outcome.
+
+        The orchestrator's store status (``"cached"``, ``"derived"``,
+        ``"computed"``) passes straight through.  A multi-experiment
+        plan has no single outcome; use :meth:`report`.
+        """
+        report = self.report()
+        if len(report.outcomes) != 1:
+            known = ", ".join(outcome.name for outcome in report.outcomes)
+            raise ValueError(
+                f"plan selects {len(report.outcomes)} experiments ({known}); "
+                "outcome() needs exactly one -- use report() instead"
+            )
+        outcome = report.outcomes[0]
+        return PlanOutcome(
+            kind="experiments",
+            key=outcome.key,
+            status=outcome.status,
+            frame=outcome.stored_frame(),
+            details={"experiment": outcome.name, "title": outcome.title},
+        )
 
 
 def experiment_frames(artifact: Mapping[str, Any]) -> Sequence[ResultFrame]:

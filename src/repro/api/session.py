@@ -381,6 +381,58 @@ class Session:
             use_store=use_store,
         )
 
+    def explore(
+        self,
+        grid: Any,
+        workloads: Optional[Sequence[WorkloadLike]] = None,
+        sections: Sequence[CodeSection] = (CodeSection.TOTAL,),
+        instructions: Optional[int] = None,
+        seed: int = 0,
+        chunk_points: Optional[int] = None,
+        objectives: Optional[Sequence[str]] = None,
+        use_store: bool = True,
+    ) -> "Any":
+        """Declare a design-space exploration over a grid.
+
+        ``grid`` is a :class:`~repro.explore.grid.GridSpec` (or a
+        preset name from :data:`~repro.explore.grid.GRID_PRESETS`).
+        Returns an :class:`~repro.explore.plan.ExplorePlan`; nothing
+        runs until ``execute()``/``result()``.  Grid points are
+        evaluated in content-addressed chunks through the batched
+        engines, so interrupted explorations resume by replaying stored
+        chunks, and ``objectives`` (default: the grid kind's standard
+        area/power/performance triple) select the Pareto frontier.
+        """
+        from repro.explore.grid import GridSpec, get_grid
+        from repro.explore.plan import (
+            DEFAULT_CHUNK_POINTS,
+            DEFAULT_EXPLORE_WORKLOADS,
+            ExplorePlan,
+        )
+
+        if isinstance(grid, str):
+            grid = get_grid(grid)
+        if not isinstance(grid, GridSpec):
+            raise TypeError(
+                f"expected a GridSpec or preset name, got {type(grid).__name__}"
+            )
+        names = DEFAULT_EXPLORE_WORKLOADS if workloads is None else workloads
+        return ExplorePlan(
+            session=self,
+            grid=grid,
+            workloads=tuple(self.workload(w) for w in names),
+            sections=tuple(sections),
+            instructions=(
+                self.config.instructions if instructions is None else int(instructions)
+            ),
+            seed=int(seed),
+            chunk_points=(
+                DEFAULT_CHUNK_POINTS if chunk_points is None else int(chunk_points)
+            ),
+            objectives=tuple(objectives) if objectives is not None else (),
+            use_store=use_store,
+        )
+
     def run(self, plan: Plan) -> ResultFrame:
         """Execute a plan (equivalent to ``plan.execute()``)."""
         return plan.execute()

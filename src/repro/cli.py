@@ -7,6 +7,7 @@ Usage::
     repro-frontend table3
     repro-frontend fig10 --parallel
     repro-frontend cmpsweep --scenarios core-scaling,l2-scaling
+    repro-frontend explore --grid frontend --out results/
     repro-frontend all --smoke --parallel --out results/
     repro-frontend all --executor queue --queue-dir /shared/queue
     repro-frontend worker --queue-dir /shared/queue   # on any machine
@@ -44,7 +45,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment to run: one of %s, 'all', 'list', or 'worker' "
+        help="experiment to run: one of %s, 'all', 'list', 'explore' "
+        "(design-space exploration over a grid), or 'worker' "
         "(serve a durable work queue)" % ", ".join(sorted(registry_names())),
     )
     parser.add_argument(
@@ -107,6 +109,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="'worker' only: exit after the queue has been idle this "
         "long (default 30)",
+    )
+    parser.add_argument(
+        "--grid",
+        type=str,
+        default=None,
+        help="'explore' only: preset grid name (default 'frontend', or "
+        "'smoke' when --smoke is passed)",
     )
     parser.add_argument(
         "--scenarios",
@@ -217,6 +226,9 @@ def main(argv: Optional[list] = None) -> int:
         )
         return 0
 
+    if args.experiment == "explore":
+        return _run_explore(args, parser)
+
     if args.experiment == "all":
         names = registry_names()
     elif args.experiment in registry_names():
@@ -250,24 +262,7 @@ def main(argv: Optional[list] = None) -> int:
         )
         return 2
 
-    # Only flags the user actually passed become explicit overrides, so
-    # the flags > environment > defaults precedence holds: an omitted
-    # --parallel still honours REPRO_PARALLEL, an omitted budget flag
-    # still honours REPRO_INSTRUCTIONS.
-    overrides: Dict[str, object] = {}
-    if args.parallel is not None:
-        overrides["parallel"] = args.parallel
-    if args.processes is not None:
-        overrides["processes"] = args.processes
-    if args.retries is not None:
-        overrides["retries"] = args.retries
-    if args.executor is not None:
-        overrides["executor"] = args.executor
-    if args.queue_dir is not None:
-        overrides["queue_dir"] = args.queue_dir
-    explicit_instructions = _resolve_instructions(args)
-    if explicit_instructions is not None:
-        overrides["instructions"] = explicit_instructions
+    overrides = _session_overrides(args)
     # Default the shared result store into the environment first (so
     # worker and later processes inherit it, the historical contract),
     # then freeze the run's one Session, resolved exactly once.  A
@@ -317,6 +312,110 @@ def main(argv: Optional[list] = None) -> int:
         )
     if args.out is not None:
         manifest_path = write_manifest(combined, args.out)
+        print(f"manifest: {manifest_path}", file=sys.stderr)
+    return 0
+
+
+def _session_overrides(args: argparse.Namespace) -> Dict[str, object]:
+    """Explicit RuntimeConfig overrides from the flags actually passed.
+
+    Only flags the user actually passed become explicit overrides, so
+    the flags > environment > defaults precedence holds: an omitted
+    ``--parallel`` still honours ``REPRO_PARALLEL``, an omitted budget
+    flag still honours ``REPRO_INSTRUCTIONS``.
+    """
+    overrides: Dict[str, object] = {}
+    if args.parallel is not None:
+        overrides["parallel"] = args.parallel
+    if args.processes is not None:
+        overrides["processes"] = args.processes
+    if args.retries is not None:
+        overrides["retries"] = args.retries
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+    if args.queue_dir is not None:
+        overrides["queue_dir"] = args.queue_dir
+    explicit_instructions = _resolve_instructions(args)
+    if explicit_instructions is not None:
+        overrides["instructions"] = explicit_instructions
+    return overrides
+
+
+def _run_explore(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``explore`` subcommand: run a preset grid, emit its frames.
+
+    Grid chunks are served from the content-addressed result store when
+    present (a warm rerun computes nothing and reports ``cached``), and
+    ``--out`` writes the same manifest-style artifact directory the
+    experiment runs emit.
+    """
+    from repro.api.session import Session
+    from repro.exec import SweepError
+    from repro.experiments.common import render_blocks
+    from repro.explore.grid import GRID_PRESETS, get_grid
+    from repro.results.orchestrator import ExperimentOutcome, RunReport, write_manifest
+    from repro.results.store import enable_shared_result_store
+    from repro.workloads.trace_cache import enable_shared_cache
+
+    if args.scenarios:
+        print(
+            "warning: --scenarios ignored: not consumed by explore",
+            file=sys.stderr,
+        )
+        if args.strict:
+            print(
+                "error: --strict run with ignored flag(s): --scenarios",
+                file=sys.stderr,
+            )
+            return 2
+    preset = args.grid or ("smoke" if args.smoke else "frontend")
+    if preset not in GRID_PRESETS:
+        parser.error(
+            f"unknown grid preset {preset!r}; "
+            f"expected one of {', '.join(sorted(GRID_PRESETS))}"
+        )
+    grid = get_grid(preset)
+
+    enable_shared_result_store()
+    session = Session(**_session_overrides(args))
+    if session.config.parallel:
+        enable_shared_cache()
+    plan = session.explore(grid)
+    try:
+        result = plan.result()
+    except SweepError as error:
+        print(f"error: explore failed:\n{error}", file=sys.stderr)
+        return 1
+    print(f"== explore[{preset}] ==")
+    print(render_blocks(result.tables()))
+    status = "cached" if result.chunks_computed == 0 else "computed"
+    print(
+        f"[explore] {status}: {result.points} grid points x "
+        f"{len(result.workloads)} workloads; chunks: {result.chunks_total} "
+        f"total, {result.chunks_cached} cached, {result.chunks_computed} "
+        "computed",
+        file=sys.stderr,
+    )
+    if args.out is not None:
+        from repro.results.artifacts import build_frame_artifact
+
+        artifact = build_frame_artifact(
+            "explore",
+            f"design-space exploration of the {preset!r} grid",
+            result.tables(),
+            result,
+        )
+        report = RunReport(instructions=session.config.instructions)
+        report.outcomes.append(
+            ExperimentOutcome(
+                name="explore",
+                title=artifact["title"],
+                key=plan.journal_scope(),
+                status=status,
+                artifact=artifact,
+            )
+        )
+        manifest_path = write_manifest(report, args.out)
         print(f"manifest: {manifest_path}", file=sys.stderr)
     return 0
 

@@ -1,0 +1,49 @@
+"""Declarative design-space exploration.
+
+``explore`` turns a declarative :class:`GridSpec` -- axes over
+predictor budgets, BTB/I-cache geometries, core counts, CMP mixes, and
+L2 slice sizes, cross-producted with constraint filters -- into a
+columnar grid of measurements, compiled onto the batched simulation
+engines so thousands of configurations per workload share one decoded
+instruction stream.  The usual entry point is
+:meth:`repro.api.session.Session.explore`, which returns an
+:class:`ExplorePlan`; :func:`pareto_frontier` and
+:func:`sensitivity_frame` post-process the resulting frames.
+"""
+
+from repro.explore.grid import (
+    GRID_PRESETS,
+    Axis,
+    GridPoint,
+    GridSpec,
+    cmp_exploration_grid,
+    frontend_grid,
+    get_grid,
+    smoke_grid,
+)
+from repro.explore.pareto import ParetoFrontier, pareto_frontier, pareto_mask
+from repro.explore.plan import (
+    DEFAULT_EXPLORE_WORKLOADS,
+    ExplorePlan,
+    ExploreResult,
+)
+from repro.explore.sensitivity import sensitivity_frame, sensitivity_summary
+
+__all__ = [
+    "Axis",
+    "DEFAULT_EXPLORE_WORKLOADS",
+    "ExplorePlan",
+    "ExploreResult",
+    "GRID_PRESETS",
+    "GridPoint",
+    "GridSpec",
+    "ParetoFrontier",
+    "cmp_exploration_grid",
+    "frontend_grid",
+    "get_grid",
+    "pareto_frontier",
+    "pareto_mask",
+    "sensitivity_frame",
+    "sensitivity_summary",
+    "smoke_grid",
+]

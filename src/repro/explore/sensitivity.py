@@ -1,0 +1,79 @@
+"""Per-axis sensitivity tables over exploration result frames.
+
+For every swept axis value, the sensitivity table reports the mean (and
+range) of each metric over all grid rows taking that value -- the
+marginal effect of moving along one axis with every other axis averaged
+out.  The companion summary collapses each axis to the spread of those
+means, which ranks the axes by how much the design space actually
+responds to them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.api.frame import ResultFrame
+
+#: Columns of the sensitivity frame, in emission order.
+SENSITIVITY_COLUMNS = ("axis", "value", "metric", "mean", "min", "max")
+
+
+def sensitivity_frame(
+    frame: ResultFrame,
+    axes: Sequence[str],
+    metrics: Sequence[str],
+) -> ResultFrame:
+    """One row per (axis, value, metric): mean/min/max over the grid.
+
+    Axis values appear in first-seen (grid) order; axes and metrics in
+    the order given, so the emission is deterministic for a given grid
+    frame.
+    """
+    rows: List[List[Any]] = []
+    for axis in axes:
+        axis_position = frame._position(axis)
+        value_order: List[Any] = []
+        buckets: Dict[Any, List[Tuple[Any, ...]]] = {}
+        for row in frame.data:
+            value = row[axis_position]
+            if value not in buckets:
+                buckets[value] = []
+                value_order.append(value)
+            buckets[value].append(row)
+        for value in value_order:
+            bucket = buckets[value]
+            for metric in metrics:
+                metric_position = frame._position(metric)
+                cells = [float(row[metric_position]) for row in bucket]
+                rows.append(
+                    [
+                        axis,
+                        value,
+                        metric,
+                        sum(cells) / len(cells),
+                        min(cells),
+                        max(cells),
+                    ]
+                )
+    return ResultFrame.from_rows(SENSITIVITY_COLUMNS, rows)
+
+
+def sensitivity_summary(sensitivity: ResultFrame) -> ResultFrame:
+    """Collapse a sensitivity frame to per-(axis, metric) mean spreads.
+
+    ``spread`` is ``max(mean) - min(mean)`` across the axis's values:
+    zero means the metric ignores the axis entirely.
+    """
+    order: List[Tuple[Any, Any]] = []
+    means: Dict[Tuple[Any, Any], List[float]] = {}
+    for record in sensitivity.records():
+        key = (record["axis"], record["metric"])
+        if key not in means:
+            means[key] = []
+            order.append(key)
+        means[key].append(float(record["mean"]))
+    rows = [
+        [axis, metric, max(means[(axis, metric)]) - min(means[(axis, metric)])]
+        for axis, metric in order
+    ]
+    return ResultFrame.from_rows(("axis", "metric", "spread"), rows)

@@ -8,6 +8,13 @@ data -- the experiment driver (:mod:`repro.experiments.cmp_sweep`, CLI
 command ``repro-frontend cmpsweep``) evaluates every point against the
 workload profiles and reports time/power/energy normalized to the
 scenario's first configuration.
+
+Grid *construction* now lives in :class:`repro.explore.grid.GridSpec`
+(``GridSpec.cmp(...)``); the scenarios here compile through it, and the
+historical :func:`cmp_grid` survives only as a deprecated wrapper.
+:mod:`repro.explore` imports :func:`mix_config` from this module, so
+this module must import :mod:`repro.explore` lazily (inside functions)
+to keep the import graph acyclic.
 """
 
 from __future__ import annotations
@@ -95,25 +102,26 @@ def cmp_grid(
     mixes: Sequence[str] = ("baseline", "tailored", "asymmetric"),
     l2_sizes_kb: Sequence[int] = (256,),
 ) -> List[CmpConfig]:
-    """The cross product of core counts, core mixes, and L2 sizes.
+    """Deprecated: build grids through :class:`repro.explore.GridSpec`.
 
-    Grid points that do not exist (asymmetric single-core chips) are
-    skipped, and identical chips reachable through two mixes (an
-    ``asymmetric++`` N-core point is the ``asymmetric`` point at N+1
-    cores) are emitted once; the iteration order is ``l2 x count x
-    mix`` so all mixes at one design point sit next to each other in
-    reports.
+    Thin compatibility wrapper over ``GridSpec.cmp(core_counts, mixes,
+    l2_sizes_kb).configs()``, which reproduces the historical product
+    bit-identically: iteration order ``l2 x count x mix``, nonexistent
+    points (asymmetric single-core chips) skipped, and identical chips
+    reachable through two mixes (an ``asymmetric++`` N-core point is
+    the ``asymmetric`` point at N+1 cores) emitted once.
     """
-    grid: List[CmpConfig] = []
-    seen = set()
-    for l2_kb in l2_sizes_kb:
-        for count in core_counts:
-            for mix in mixes:
-                config = mix_config(mix, count, l2_kb)
-                if config is not None and config not in seen:
-                    seen.add(config)
-                    grid.append(config)
-    return grid
+    import warnings
+
+    from repro.explore.grid import GridSpec
+
+    warnings.warn(
+        "cmp_grid() is deprecated; use "
+        "repro.explore.GridSpec.cmp(...).configs() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return list(GridSpec.cmp(core_counts, mixes, l2_sizes_kb).configs())
 
 
 def paper_scenario() -> SweepScenario:
@@ -130,10 +138,12 @@ def core_scaling_scenario(
     mixes: Sequence[str] = ("baseline", "tailored", "asymmetric"),
 ) -> SweepScenario:
     """Baseline/tailored/asymmetric mixes across chip core counts."""
+    from repro.explore.grid import GridSpec
+
     return SweepScenario(
         name="core-scaling",
         description=f"core mixes {tuple(mixes)} at {tuple(core_counts)} cores per chip",
-        cmps=tuple(cmp_grid(core_counts, mixes)),
+        cmps=GridSpec.cmp(core_counts, mixes).configs(),
     )
 
 

@@ -13,8 +13,11 @@ import pathlib
 
 import repro.api
 from repro.api import ResultFrame, RuntimeConfig, Session
-from repro.api.plan import ExperimentPlan, FrontendSweepPlan
+from repro.api.plan import ExperimentPlan, FrontendSweepPlan, Plan, PlanOutcome
 from repro.api.runtime_config import ENVIRONMENT_VARIABLES
+from repro.explore.grid import GridSpec
+from repro.explore.pareto import ParetoFrontier
+from repro.explore.plan import ExplorePlan
 
 README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
 
@@ -24,8 +27,12 @@ class TestPublicSurface:
         assert repro.api.__all__ == [
             "ENVIRONMENT_VARIABLES",
             "ExperimentPlan",
+            "ExplorePlan",
             "FrontendSweepPlan",
+            "GridSpec",
+            "ParetoFrontier",
             "Plan",
+            "PlanOutcome",
             "ResultFrame",
             "RuntimeConfig",
             "Session",
@@ -120,6 +127,35 @@ class TestPublicSurface:
             "instructions",
             "seed",
         ]
+        assert parameters(Session.explore) == [
+            "self",
+            "grid",
+            "workloads",
+            "sections",
+            "instructions",
+            "seed",
+            "chunk_points",
+            "objectives",
+            "use_store",
+        ]
+
+    def test_grid_spec_signatures(self):
+        def parameters(callable_):
+            return list(inspect.signature(callable_).parameters)
+
+        assert parameters(GridSpec.frontend) == ["name", "constraints", "axes"]
+        assert parameters(GridSpec.cmp) == [
+            "cores",
+            "mixes",
+            "l2_kb",
+            "name",
+            "constraints",
+        ]
+        assert parameters(ParetoFrontier.from_frame) == [
+            "frame",
+            "objectives",
+            "group_by",
+        ]
 
     def test_plan_and_frame_shapes(self):
         assert set(FrontendSweepPlan.__dataclass_fields__) == {
@@ -138,8 +174,33 @@ class TestPublicSurface:
             "instructions",
             "use_store",
         }
+        assert set(ExplorePlan.__dataclass_fields__) == {
+            "session",
+            "grid",
+            "workloads",
+            "sections",
+            "instructions",
+            "seed",
+            "chunk_points",
+            "objectives",
+            "use_store",
+        }
+        assert set(PlanOutcome.__dataclass_fields__) == {
+            "kind",
+            "key",
+            "status",
+            "frame",
+            "details",
+        }
         for method in ("rows", "records", "column", "select", "to_csv", "to_json"):
             assert callable(getattr(ResultFrame, method)), method
+
+    def test_plan_protocol_is_shared(self):
+        # Every plan implements the unified Plan protocol.
+        for plan_type in (FrontendSweepPlan, ExperimentPlan, ExplorePlan):
+            assert issubclass(plan_type, Plan), plan_type
+            for method in ("execute", "describe", "frame", "outcome"):
+                assert callable(getattr(plan_type, method)), (plan_type, method)
 
     def test_py_typed_marker_ships(self):
         package_dir = pathlib.Path(inspect.getfile(repro.api)).parent.parent
