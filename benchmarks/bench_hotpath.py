@@ -212,6 +212,77 @@ def test_explore_grid(benchmark):
     )
 
 
+def test_serve_warm_request(benchmark, tmp_path, monkeypatch):
+    """End-to-end latency of a warm ``GET /experiment/...`` request.
+
+    Runs the orchestrator once so the result store holds ``fig5``, then
+    times complete HTTP round trips against a live ``ResultsServer`` on
+    the loopback interface -- connection, request parse, store load,
+    frame encode, response.  Every request is served entirely from the
+    store (the server has no queue, so a miss would be a 503 and fail
+    the assertion); this is the number the PR 10 acceptance bound
+    (p50 < 5 ms) tracks.
+    """
+    import urllib.request
+
+    from repro.api import runtime_config as rc
+    from repro.results.orchestrator import run_experiments
+    from repro.results.store import clear_result_store
+    from repro.serve import background_server
+
+    monkeypatch.setenv("REPRO_RESULT_CACHE_DIR", str(tmp_path / "store"))
+    monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", "none")
+    clear_result_store()
+    run_experiments(["fig5"], instructions=6_000)
+    config = rc.RuntimeConfig.from_environment(instructions=6_000)
+    with background_server(config=config, queue_dir=None) as server:
+        url = server.url + "/experiment/fig5"
+
+        def request():
+            with urllib.request.urlopen(url, timeout=30) as response:
+                return response.status, response.read()
+
+        status, body = benchmark(request)
+    assert status == 200
+    assert body.startswith(b'{"columns"')
+    clear_result_store()
+
+
+def test_serve_cold_miss_request(benchmark, tmp_path, monkeypatch):
+    """Latency of a cold miss: resolve, enqueue, and answer 202.
+
+    Each round asks for a budget no worker has computed, so the server
+    resolves the request to a fresh store key, enqueues an interactive-
+    priority item onto the durable queue, and returns the ``/job/<id>``
+    polling URL.  This is the full price a client pays before a worker
+    even starts -- the other half of the cold path measured by
+    ``test_serve_warm_request``.
+    """
+    import urllib.request
+
+    from repro.api import runtime_config as rc
+    from repro.results.store import clear_result_store
+    from repro.serve import background_server
+
+    monkeypatch.setenv("REPRO_RESULT_CACHE_DIR", str(tmp_path / "store"))
+    monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", "none")
+    clear_result_store()
+    queue_dir = tmp_path / "queue"
+    queue_dir.mkdir()
+    config = rc.RuntimeConfig.from_environment(instructions=6_000)
+    budgets = iter(range(7_000, 1_000_000))
+    with background_server(config=config, queue_dir=str(queue_dir)) as server:
+
+        def request():
+            path = f"/experiment/fig5?instructions={next(budgets)}"
+            with urllib.request.urlopen(server.url + path, timeout=30) as response:
+                return response.status
+
+        status = benchmark.pedantic(request, rounds=10, iterations=1)
+    assert status == 202
+    clear_result_store()
+
+
 def test_frame_payload_round_trip(benchmark):
     """Serialize and re-validate a stored ResultFrame payload.
 

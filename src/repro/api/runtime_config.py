@@ -96,6 +96,15 @@ LEASE_TTL_VARIABLE = "REPRO_LEASE_TTL"
 #: seconds (must be smaller than the lease TTL).
 HEARTBEAT_INTERVAL_VARIABLE = "REPRO_HEARTBEAT_INTERVAL"
 
+#: Environment variable fixing the bind address of the results service
+#: (``repro-frontend serve``).  Deployment-local: never folded into
+#: result keys.
+SERVE_HOST_VARIABLE = "REPRO_SERVE_HOST"
+
+#: Environment variable fixing the TCP port of the results service
+#: (``0``: an ephemeral OS-assigned port, the test-friendly default).
+SERVE_PORT_VARIABLE = "REPRO_SERVE_PORT"
+
 #: Every environment variable the runtime honours, in documentation
 #: order.  The API-surface test pins this tuple: growing it is an API
 #: change.
@@ -115,6 +124,8 @@ ENVIRONMENT_VARIABLES: Tuple[str, ...] = (
     QUEUE_DIR_VARIABLE,
     LEASE_TTL_VARIABLE,
     HEARTBEAT_INTERVAL_VARIABLE,
+    SERVE_HOST_VARIABLE,
+    SERVE_PORT_VARIABLE,
 )
 
 #: Default dynamic trace length used by the profiling layers.  Scaled
@@ -145,6 +156,13 @@ DEFAULT_LEASE_TTL = 30.0
 
 #: Default queue heartbeat renewal interval, in seconds.
 DEFAULT_HEARTBEAT_INTERVAL = 5.0
+
+#: Default bind address of the results service: loopback only, so a
+#: bare ``repro-frontend serve`` never exposes itself off-host.
+DEFAULT_SERVE_HOST = "127.0.0.1"
+
+#: Default results-service port.
+DEFAULT_SERVE_PORT = 8757
 
 #: The recognised trace engines.
 TRACE_ENGINES = ("compiled", "reference")
@@ -347,6 +365,10 @@ class RuntimeConfig:
     lease_ttl: float = DEFAULT_LEASE_TTL
     #: Queue heartbeat renewal interval in seconds (< ``lease_ttl``).
     heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
+    #: Results-service bind address (deployment-local; never keyed).
+    serve_host: str = DEFAULT_SERVE_HOST
+    #: Results-service TCP port (``0``: OS-assigned ephemeral port).
+    serve_port: int = DEFAULT_SERVE_PORT
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -405,6 +427,15 @@ class RuntimeConfig:
                 )
         object.__setattr__(self, "lease_ttl", lease_ttl)
         object.__setattr__(self, "heartbeat_interval", heartbeat)
+        host = str(self.serve_host).strip() or DEFAULT_SERVE_HOST
+        object.__setattr__(self, "serve_host", host)
+        port = int(self.serve_port)
+        if not 0 <= port <= 65535:
+            raise ValueError(
+                f"serve_port must be in [0, 65535] (0: ephemeral), "
+                f"got {self.serve_port!r}"
+            )
+        object.__setattr__(self, "serve_port", port)
 
     @classmethod
     def from_environment(
@@ -425,6 +456,8 @@ class RuntimeConfig:
         queue_dir: Union[str, None, Any] = _UNSET,
         lease_ttl: Union[float, Any] = _UNSET,
         heartbeat_interval: Union[float, Any] = _UNSET,
+        serve_host: Union[str, Any] = _UNSET,
+        serve_port: Union[int, Any] = _UNSET,
     ) -> "RuntimeConfig":
         """Resolve a config with explicit > environment > default.
 
@@ -514,6 +547,14 @@ class RuntimeConfig:
                 heartbeat_interval = float(lease_ttl) * (
                     DEFAULT_HEARTBEAT_INTERVAL / DEFAULT_LEASE_TTL
                 )
+        if serve_host is _UNSET:
+            serve_host = read_environment(SERVE_HOST_VARIABLE) or DEFAULT_SERVE_HOST
+        if serve_port is _UNSET:
+            resolved_serve_port = _env_int(SERVE_PORT_VARIABLE, DEFAULT_SERVE_PORT)
+            if resolved_serve_port is None or not 0 <= resolved_serve_port <= 65535:
+                resolved_serve_port = DEFAULT_SERVE_PORT
+        else:
+            resolved_serve_port = int(serve_port)
         return cls(
             trace_engine=resolved_engine,
             trace_cache_dir=normalize_cache_dir(trace_cache_dir),
@@ -530,6 +571,8 @@ class RuntimeConfig:
             queue_dir=normalize_cache_dir(queue_dir),
             lease_ttl=float(lease_ttl),
             heartbeat_interval=float(heartbeat_interval),
+            serve_host=str(serve_host),
+            serve_port=resolved_serve_port,
         )
 
     def replace(self, **changes: Any) -> "RuntimeConfig":
@@ -541,9 +584,10 @@ class RuntimeConfig:
 
         Only knobs that could conceivably change stored numbers belong
         here; execution details (parallelism, worker counts, cache
-        locations, executor choice, retry/timeout policy, fault plans)
-        are deliberately absent because serial and supervised parallel
-        sweeps -- and both engines -- produce bit-identical results.
+        locations, executor choice, retry/timeout policy, fault plans,
+        the results-service host/port) are deliberately absent because
+        serial and supervised parallel sweeps -- and both engines --
+        produce bit-identical results.
         The engine is still keyed as defence in depth: if a regression
         ever broke engine equivalence, the two engines' *result-store*
         entries at least stay separate.  (The trace cache underneath is

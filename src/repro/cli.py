@@ -11,6 +11,7 @@ Usage::
     repro-frontend all --smoke --parallel --out results/
     repro-frontend all --executor queue --queue-dir /shared/queue
     repro-frontend worker --queue-dir /shared/queue   # on any machine
+    repro-frontend serve --port 8757 --queue-dir /shared/queue
 
 Every invocation constructs exactly one :class:`repro.api.Session`
 (its :class:`~repro.api.RuntimeConfig` resolved once from the flags
@@ -46,8 +47,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment to run: one of %s, 'all', 'list', 'explore' "
-        "(design-space exploration over a grid), or 'worker' "
-        "(serve a durable work queue)" % ", ".join(sorted(registry_names())),
+        "(design-space exploration over a grid), 'worker' "
+        "(serve a durable work queue), or 'serve' (the always-on "
+        "HTTP/JSON results service)" % ", ".join(sorted(registry_names())),
     )
     parser.add_argument(
         "--instructions",
@@ -109,6 +111,20 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="'worker' only: exit after the queue has been idle this "
         "long (default 30)",
+    )
+    parser.add_argument(
+        "--host",
+        type=str,
+        default=None,
+        help="'serve' only: bind address (default REPRO_SERVE_HOST, "
+        "else 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="'serve' only: TCP port, 0 for an ephemeral one (default "
+        "REPRO_SERVE_PORT, else 8757)",
     )
     parser.add_argument(
         "--grid",
@@ -225,6 +241,26 @@ def main(argv: Optional[list] = None) -> int:
             file=sys.stderr,
         )
         return 0
+
+    if args.experiment == "serve":
+        # The always-on results service: warm requests are served from
+        # the shared store; misses become interactive-priority queue
+        # items for external 'worker' processes to drain.
+        from repro.api import runtime_config
+        from repro.api.runtime_config import RuntimeConfig
+        from repro.serve import ResultsServer, run_server
+
+        queue_dir = args.queue_dir or runtime_config.current_queue_dir()
+        if queue_dir is None:
+            parser.error("'serve' requires --queue-dir (or REPRO_QUEUE_DIR)")
+        enable_shared_result_store()
+        overrides = _session_overrides(args)
+        if args.host is not None:
+            overrides["serve_host"] = args.host
+        if args.port is not None:
+            overrides["serve_port"] = args.port
+        config = RuntimeConfig.from_environment(**overrides)
+        return run_server(ResultsServer(config=config, queue_dir=queue_dir))
 
     if args.experiment == "explore":
         return _run_explore(args, parser)

@@ -54,7 +54,7 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exec import leases
 from repro.exec.executors import (
@@ -152,12 +152,47 @@ def resolve_worker_reference(reference: str) -> Callable:
     return worker
 
 
-def _item_name(index: int, key: str) -> str:
-    return f"{index:06d}-{key[:12]}"
+#: Default claim priority of enqueued items.  Claim order is the
+#: lexicographic order of item names, which lead with ``p<priority>``:
+#: a *numerically lower* priority is claimed first.
+DEFAULT_PRIORITY = 50
+
+#: Priority of interactively-requested items (results-service misses):
+#: claimed ahead of default-priority background cache-warming work.
+INTERACTIVE_PRIORITY = 10
+
+
+def _clamp_priority(priority: int) -> int:
+    return max(0, min(99, int(priority)))
+
+
+def _item_name(index: int, key: str, priority: int = DEFAULT_PRIORITY) -> str:
+    return f"p{_clamp_priority(priority):02d}-{index:06d}-{key[:12]}"
+
+
+def _name_parts(name: str) -> Tuple[int, str]:
+    """(priority, logical id) of an item name.
+
+    Pre-priority names (``<index>-<key>``) parse as default priority, so
+    a campaign enqueued by older code stays claimable and poisonable.
+    """
+    head, _, rest = name.partition("-")
+    if len(head) == 3 and head.startswith("p") and head[1:].isdigit():
+        return int(head[1:]), rest
+    return DEFAULT_PRIORITY, name
+
+
+def _item_priority(name: str) -> int:
+    return _name_parts(name)[0]
+
+
+def _item_logical(name: str) -> str:
+    """The priority-free ``<index>-<key>`` identity of an item name."""
+    return _name_parts(name)[1]
 
 
 def _item_index(name: str) -> int:
-    return int(name.split("-", 1)[0])
+    return int(_item_logical(name).split("-", 1)[0])
 
 
 def _atomic_write(path: str, data: bytes) -> None:
@@ -256,23 +291,67 @@ def _settings_from_wire(wire: Dict[str, Any]) -> ExecutionSettings:
     )
 
 
+def _existing_names(root: str) -> Dict[str, str]:
+    """Map each on-disk item's logical id to its actual (named) form.
+
+    Priority is execution policy, not identity: the campaign digest
+    excludes it, so re-enqueueing the same sweep at a different
+    priority must reuse the names already on disk instead of growing a
+    second item file for the same work unit.
+    """
+    existing: Dict[str, str] = {}
+    for directory, suffix in (
+        (os.path.join(root, ITEMS_DIR), ITEM_SUFFIX),
+        (os.path.join(root, DONE_DIR), RESULT_SUFFIX),
+    ):
+        try:
+            entries = os.listdir(directory)
+        except OSError:
+            continue
+        for entry in entries:
+            if entry.endswith(suffix):
+                stem = entry[: -len(suffix)]
+                existing.setdefault(_item_logical(stem), stem)
+    return existing
+
+
 def enqueue_campaign(
     worker: Callable,
     items: Sequence[Tuple[int, Any]],
     settings: ExecutionSettings,
     queue_dir: str,
+    priority: Union[int, Sequence[int], None] = None,
 ) -> Campaign:
     """Materialize a sweep as a campaign directory (idempotent).
 
     Re-enqueueing the same sweep is a resume: item files are only
     written for items without a published result, so completed work is
-    never re-opened.
+    never re-opened.  ``priority`` (one value for the whole sweep or a
+    per-item sequence; default :data:`DEFAULT_PRIORITY`) orders claims
+    across everything sharing the queue directory -- lower values are
+    claimed first -- without entering the campaign's content address.
     """
     keys = [item_key(worker, index, args) for index, args in items]
+    if priority is None:
+        priorities = [DEFAULT_PRIORITY] * len(keys)
+    elif isinstance(priority, int):
+        priorities = [priority] * len(keys)
+    else:
+        priorities = [int(value) for value in priority]
+        if len(priorities) != len(keys):
+            raise ValueError(
+                f"per-item priority sequence has {len(priorities)} entries "
+                f"for {len(keys)} items"
+            )
     root = os.path.join(queue_dir, CAMPAIGN_PREFIX + campaign_digest(keys))
+    existing = _existing_names(root)
+    names = []
+    for (index, _), key, item_priority in zip(items, keys, priorities):
+        fresh = _item_name(index, key, item_priority)
+        names.append(existing.get(_item_logical(fresh), fresh))
     campaign = Campaign(
         root=root,
-        names=[_item_name(index, key) for (index, _), key in zip(items, keys)],
+        names=names,
         worker=worker,
         settings=settings,
     )
@@ -308,6 +387,29 @@ def enqueue_campaign(
             enqueued += 1
     _count("enqueued", enqueued)
     return campaign
+
+
+def enqueue_item(
+    worker: Callable,
+    args: Any,
+    settings: ExecutionSettings,
+    queue_dir: str,
+    priority: int = INTERACTIVE_PRIORITY,
+) -> Tuple[Campaign, str]:
+    """Enqueue one work unit as its own single-item campaign.
+
+    The entry point of interactively-originated work (a results-service
+    cache miss): the item defaults to :data:`INTERACTIVE_PRIORITY`, so
+    cooperating workers claim it ahead of default-priority batch
+    campaigns sharing the queue directory.  Idempotent like
+    :func:`enqueue_campaign` -- re-enqueueing a unit that is already
+    pending (or published) changes nothing.  Returns the campaign and
+    the item's name within it.
+    """
+    campaign = enqueue_campaign(
+        worker, [(0, args)], settings, queue_dir, priority=priority
+    )
+    return campaign, campaign.names[0]
 
 
 def open_campaign(root: str, worker: Optional[Callable] = None) -> Campaign:
@@ -457,6 +559,7 @@ def poison_item(
     report = {
         "item": name,
         "index": _item_index(name),
+        "priority": _item_priority(name),
         "reclaims": counts["reclaim"],
         "worker_deaths": counts["death"],
         "errors": counts["error"],
@@ -986,6 +1089,21 @@ class QueueExecutor(Executor):
                 pass
 
 
+def _most_urgent_item(queue_dir: str, entry: str) -> str:
+    """Sort key for campaign visit order: the smallest pending item name.
+
+    Item names lead with ``p<priority>``, so the minimum name *is* the
+    most urgent claimable unit.  Campaigns with nothing pending sort
+    last (``~`` follows every item spelling in ASCII).
+    """
+    try:
+        items = os.listdir(os.path.join(queue_dir, entry, ITEMS_DIR))
+    except OSError:
+        return "~"
+    pending = [name for name in items if name.endswith(ITEM_SUFFIX)]
+    return min(pending) if pending else "~"
+
+
 def serve_queue(
     queue_dir: str,
     max_idle: Optional[float] = 30.0,
@@ -996,7 +1114,11 @@ def serve_queue(
     Scans for campaign directories, resolves each campaign's worker by
     its importable reference, and claims items until the queue has been
     idle -- no campaign with claimable work -- for ``max_idle`` seconds
-    (``None``: forever).  Returns the process-wide queue counters.
+    (``None``: forever).  Campaigns are visited in order of their most
+    urgent pending item (item names lead with the claim priority), so
+    an interactive single-item campaign is drained before the bulk of
+    a default-priority batch sweep.  Returns the process-wide queue
+    counters.
     """
     served: Dict[str, QueueWorker] = {}
     last_work = time.monotonic()
@@ -1006,6 +1128,7 @@ def serve_queue(
             entries = sorted(os.listdir(queue_dir))
         except OSError:
             entries = []
+        entries.sort(key=lambda entry: _most_urgent_item(queue_dir, entry))
         for entry in entries:
             root = os.path.join(queue_dir, entry)
             if not entry.startswith(CAMPAIGN_PREFIX) or not os.path.isdir(root):

@@ -48,6 +48,14 @@ from repro.experiments.fig11_per_benchmark_time import (
     format_fig11,
 )
 from repro.experiments.cmp_sweep import run_cmpsweep, tables_cmpsweep, format_cmpsweep
+from repro.experiments.explore_presets import (
+    run_explore_preset,
+    run_explore_frontend,
+    run_explore_smoke,
+    run_explore_cmp,
+    tables_explore,
+    format_explore,
+)
 
 __all__ = [
     "DEFAULT_EXPERIMENT_INSTRUCTIONS",
@@ -103,4 +111,10 @@ __all__ = [
     "run_cmpsweep",
     "tables_cmpsweep",
     "format_cmpsweep",
+    "run_explore_preset",
+    "run_explore_frontend",
+    "run_explore_smoke",
+    "run_explore_cmp",
+    "tables_explore",
+    "format_explore",
 ]

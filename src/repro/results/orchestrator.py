@@ -68,6 +68,7 @@ def _registry() -> "Dict[str, ExperimentSpec]":
             experiments.fig10_cmp_configs.SPEC,
             experiments.fig11_per_benchmark_time.SPEC,
             experiments.cmp_sweep.SPEC,
+            *experiments.explore_presets.SPECS,
         ]
         _SPECS = {spec.name: spec for spec in specs}
     return _SPECS

@@ -27,6 +27,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.api import runtime_config
@@ -59,6 +60,13 @@ _STATS = {
     "cas_stores": 0,
     "cas_identical": 0,
     "cas_conflicts": 0,
+    # Read-path accounting (the results service reads these): every
+    # load_result call, how many resolved to an artifact from either
+    # layer, and the cumulative wall time spent loading -- so a serving
+    # layer can report store-read latency without wrapping every call.
+    "loads": 0,
+    "load_hits": 0,
+    "load_ns": 0,
 }
 
 
@@ -176,21 +184,29 @@ def load_result(key: str, experiment: Optional[str] = None) -> Optional[Dict[str
     A disk hit is promoted into the memory layer.  Returns ``None`` on
     a miss (including corrupt, truncated, or mismatched disk entries).
     """
+    started = time.perf_counter_ns()
     with _LOCK:
+        _STATS["loads"] += 1
         cached = _MEMORY.get(key)
         if cached is not None:
             _STATS["hits"] += 1
+            _STATS["load_hits"] += 1
+            _STATS["load_ns"] += time.perf_counter_ns() - started
             return cached
         _STATS["misses"] += 1
 
     if resolved_result_dir() is None:
+        with _LOCK:
+            _STATS["load_ns"] += time.perf_counter_ns() - started
         return None
     artifact = _load_from_disk(key, experiment)
     with _LOCK:
+        _STATS["load_ns"] += time.perf_counter_ns() - started
         if artifact is None:
             _STATS["disk_misses"] += 1
             return None
         _STATS["disk_hits"] += 1
+        _STATS["load_hits"] += 1
         _MEMORY[key] = artifact
     return artifact
 

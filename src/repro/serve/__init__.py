@@ -1,0 +1,26 @@
+"""The always-on results service (``repro-frontend serve``).
+
+An asyncio HTTP/JSON API over the content-addressed result store and
+the durable work queue: warm requests are served straight from the
+store as :class:`~repro.api.frame.ResultFrame` payloads, misses are
+enqueued for external ``repro-frontend worker`` processes and polled
+at ``/job/<id>``.  See :mod:`repro.serve.server` for the route
+reference.
+"""
+
+from repro.serve.jobs import JobRegistry, experiment_job_worker
+from repro.serve.resolve import ResolvedRequest, resolve_experiment, resolve_explore
+from repro.serve.server import ResultsServer, background_server, run_server
+from repro.serve.wire import HttpError
+
+__all__ = [
+    "HttpError",
+    "JobRegistry",
+    "ResolvedRequest",
+    "ResultsServer",
+    "background_server",
+    "experiment_job_worker",
+    "resolve_experiment",
+    "resolve_explore",
+    "run_server",
+]

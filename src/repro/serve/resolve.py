@@ -1,0 +1,107 @@
+"""Request resolution: URL + query params -> the orchestrator's key.
+
+A request names an experiment (``/experiment/fig5``) or a preset
+exploration (``/explore/smoke``); its semantic parameters (today the
+instruction budget) resolve into exactly the content address the
+orchestrator uses (:func:`repro.results.orchestrator.experiment_key`),
+so a store populated by ``repro-frontend all`` -- or by a queue worker
+draining this service's own misses -- serves every warm request with
+zero recomputation.
+
+Each request derives its own frozen :class:`~repro.api.runtime_config.
+RuntimeConfig` from the server's pinned startup snapshot, so two
+concurrent requests with different instruction budgets resolve and
+load under isolated configs (ContextVar activation is per-task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from repro.api.runtime_config import RuntimeConfig
+from repro.serve.wire import (
+    HttpError,
+    float_param,
+    int_param,
+    negotiate_format,
+    single_param,
+)
+
+#: Upper bound of ``?wait=`` (seconds a request may block on a miss).
+MAX_WAIT_SECONDS = 120.0
+
+#: Upper bound of ``?instructions=`` accepted over the wire.
+MAX_INSTRUCTIONS = 2_000_000_000
+
+
+@dataclass(frozen=True)
+class ResolvedRequest:
+    """One experiment request, fully resolved to its store address."""
+
+    experiment: str
+    instructions: int
+    key: str
+    #: Stored frame to serve (``None``: the artifact's primary frame).
+    frame: Optional[str]
+    format: str
+    wait: float
+    config: RuntimeConfig
+
+
+def resolve_experiment(
+    name: str,
+    params: Mapping[str, List[str]],
+    base_config: RuntimeConfig,
+    accept: Optional[str] = None,
+) -> ResolvedRequest:
+    """Resolve ``/experiment/<name>?...`` against the registry."""
+    from repro.results.orchestrator import experiment_key, registry_names
+
+    try:
+        from repro.results.orchestrator import get_spec
+
+        spec = get_spec(name)
+    except KeyError:
+        known = ", ".join(sorted(registry_names()))
+        raise HttpError(
+            404, "unknown-experiment", f"unknown experiment {name!r}; expected one of {known}"
+        )
+    instructions = int_param(params, "instructions", base_config.instructions)
+    if instructions > MAX_INSTRUCTIONS:
+        raise HttpError(
+            400,
+            "bad-parameter",
+            f"parameter 'instructions' must be <= {MAX_INSTRUCTIONS}, "
+            f"got {instructions}",
+        )
+    config = (
+        base_config
+        if instructions == base_config.instructions
+        else base_config.replace(instructions=instructions)
+    )
+    return ResolvedRequest(
+        experiment=name,
+        instructions=instructions,
+        key=experiment_key(spec, instructions),
+        frame=single_param(params, "frame"),
+        format=negotiate_format(params, accept),
+        wait=float_param(params, "wait", 0.0, maximum=MAX_WAIT_SECONDS),
+        config=config,
+    )
+
+
+def resolve_explore(
+    preset: str,
+    params: Mapping[str, List[str]],
+    base_config: RuntimeConfig,
+    accept: Optional[str] = None,
+) -> ResolvedRequest:
+    """Resolve ``/explore/<preset>?...`` to its registered experiment."""
+    from repro.experiments.explore_presets import preset_experiment_name
+
+    try:
+        name = preset_experiment_name(preset)
+    except KeyError as error:
+        raise HttpError(404, "unknown-preset", str(error).strip("'\""))
+    return resolve_experiment(name, params, base_config, accept)

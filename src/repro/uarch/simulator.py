@@ -18,6 +18,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.api import runtime_config
 from repro.frontend.simulation import FrontEndResult, simulate_frontend_many
 from repro.trace.instruction import CodeSection
 from repro.uarch.cmp import CmpConfig
@@ -87,8 +88,11 @@ class CmpRunResult:
         return self.serial_seconds + self.parallel_seconds
 
 
-#: Process-wide front-end profile cache:
-#: (workload name, instructions, cores) -> WorkloadFrontendProfile.
+#: Process-wide front-end profile cache: (cache namespace, workload
+#: name, instructions, cores) -> WorkloadFrontendProfile.  Namespaced
+#: like the trace cache beneath it, so concurrent sessions with
+#: distinct ``cache_namespace`` settings never share in-memory
+#: profiles.
 _PROFILE_CACHE: Dict[tuple, WorkloadFrontendProfile] = {}
 _PROFILE_CACHE_LOCK = threading.Lock()
 _PROFILE_CACHE_STATS = {"hits": 0, "misses": 0}
@@ -160,7 +164,12 @@ def profile_workload_frontend(
     # cache the single source of truth (its hit counters account every
     # profiling pass, cached or not).
     trace = workload_trace(spec, instructions)
-    key = (spec.name, int(instructions), tuple(cores))
+    key = (
+        runtime_config.current_cache_namespace(),
+        spec.name,
+        int(instructions),
+        tuple(cores),
+    )
     with _PROFILE_CACHE_LOCK:
         cached = _PROFILE_CACHE.get(key)
         if cached is not None:

@@ -67,8 +67,13 @@ TRACE_CACHE_DIR_VARIABLE = runtime_config.TRACE_CACHE_DIR_VARIABLE
 #: fingerprint cannot see (e.g. executor or schedule behaviour).
 TRACE_CACHE_VERSION = 1
 
-#: Process-wide trace cache: (workload name, instructions, seed) -> Trace.
-_TRACE_CACHE: Dict[Tuple[str, int, int], Trace] = {}
+#: Process-wide trace cache: (cache namespace, workload name,
+#: instructions, seed) -> Trace.  The namespace component scopes
+#: entries to the active session's ``cache_namespace`` (``None`` when
+#: unset) so concurrent namespaced sessions in one process never
+#: observe each other's in-memory traces -- mirroring the disk-layer
+#: isolation that landed with the namespaced cache directories.
+_TRACE_CACHE: Dict[Tuple[Optional[str], str, int, int], Trace] = {}
 _TRACE_CACHE_LOCK = threading.Lock()
 _TRACE_CACHE_STATS = {
     "hits": 0,
@@ -193,16 +198,20 @@ def workload_trace(
 ) -> Trace:
     """Build (or reuse) the synthetic workload and return its trace.
 
-    Traces are cached process-wide, keyed by ``(spec.name,
-    instructions, seed)``, so the experiment drivers share one trace
-    per workload instead of each regenerating all of them.  Repeated
-    calls with the same key return the *same* object.  Set the
+    Traces are cached process-wide, keyed by ``(cache namespace,
+    spec.name, instructions, seed)``, so the experiment drivers share
+    one trace per workload instead of each regenerating all of them.
+    Repeated calls with the same key return the *same* object; sessions
+    with distinct ``cache_namespace`` settings get distinct entries,
+    exactly as they get distinct disk directories.  Set the
     ``REPRO_TRACE_CACHE_DIR`` environment variable to also persist
     trace columns on disk and share them across driver processes.
     """
     if instructions is None:
         instructions = default_profile_instructions()
-    key = (spec.name, int(instructions), int(seed))
+    namespace = runtime_config.current_cache_namespace()
+    key = (namespace, spec.name, int(instructions), int(seed))
+    disk_key = (spec.name, int(instructions), int(seed))
     with _TRACE_CACHE_LOCK:
         cached = _TRACE_CACHE.get(key)
         if cached is not None:
@@ -211,14 +220,14 @@ def workload_trace(
         _TRACE_CACHE_STATS["misses"] += 1
 
     disk_enabled = resolved_cache_dir() is not None
-    trace = _load_trace_from_disk(spec, key)
+    trace = _load_trace_from_disk(spec, disk_key)
     if trace is None:
         if disk_enabled:
             with _TRACE_CACHE_LOCK:
                 _TRACE_CACHE_STATS["disk_misses"] += 1
         workload: SyntheticWorkload = build_workload(spec)
         trace = workload.trace(int(instructions), seed=seed)
-        if _store_trace_to_disk(trace, key):
+        if _store_trace_to_disk(trace, disk_key):
             with _TRACE_CACHE_LOCK:
                 _TRACE_CACHE_STATS["disk_stores"] += 1
     else:

@@ -61,6 +61,8 @@ class TestPublicSurface:
             "REPRO_QUEUE_DIR",
             "REPRO_LEASE_TTL",
             "REPRO_HEARTBEAT_INTERVAL",
+            "REPRO_SERVE_HOST",
+            "REPRO_SERVE_PORT",
         )
 
     def test_runtime_config_fields_are_pinned(self):
@@ -83,6 +85,8 @@ class TestPublicSurface:
             ("queue_dir", None),
             ("lease_ttl", 30.0),
             ("heartbeat_interval", 5.0),
+            ("serve_host", "127.0.0.1"),
+            ("serve_port", 8757),
         ]
 
     def test_session_method_signatures(self):

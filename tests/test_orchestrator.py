@@ -32,13 +32,15 @@ from repro.results.store import (
     load_result,
 )
 
-#: Short enough that the full 15-experiment suite stays test-friendly.
+#: Short enough that the full 18-experiment suite stays test-friendly.
 TINY = 6_000
 
-#: Every paper artefact the orchestrator must cover.
+#: Every paper artefact (plus the preset explorations) the orchestrator
+#: must cover.
 EXPECTED = {
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "fig11", "table1", "table2", "table3", "cmpsweep",
+    "explore-frontend", "explore-smoke", "explore-cmp",
 }
 
 
@@ -166,8 +168,8 @@ class TestFullSuiteManifest:
                 assert (directory / entry["json"]).exists()
 
         # Zero recomputes on the warm run, reported via --verbose.
-        assert "0 computed, 0 derived, 15 served from store" in warm.err
-        assert "15 served from store" not in cold.err
+        assert "0 computed, 0 derived, 18 served from store" in warm.err
+        assert "18 served from store" not in cold.err
 
         # Every emitted CSV/JSON is bit-identical between the runs, and
         # so is the rendered text output.

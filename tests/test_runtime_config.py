@@ -312,6 +312,8 @@ class TestConfigBehaviour:
             "queue_dir",
             "lease_ttl",
             "heartbeat_interval",
+            "serve_host",
+            "serve_port",
         }
 
 
